@@ -1,0 +1,38 @@
+"""Shared infrastructure of the benchmark harness.
+
+Every bench regenerates one table or figure of the paper's evaluation
+(see DESIGN.md's experiment index). Rendered tables are printed (visible
+with ``pytest benchmarks/ --benchmark-only -s``) *and* written to
+``benchmarks/results/<experiment>.txt`` so a full run leaves the
+paper-vs-measured evidence on disk.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.testenv import TestEnvironment
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def environment() -> TestEnvironment:
+    """One shared test environment so generator profiles (schema + rule
+    sets) are built once per (n_rules, seed) across all benches."""
+    return TestEnvironment()
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """Callable writing a rendered result table to disk and stdout."""
+
+    def _record(experiment_id: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{experiment_id}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _record

@@ -1,0 +1,61 @@
+"""E11 — the screening-vs-loading trade-off of sec. 4.3.
+
+Paper: *"The importance of a high value for a measure depends on the
+intended use of the tool: If it is used as a data screening tool that
+marks deviations to be controlled manually later a high sensitivity is
+important. If it is necessary to integrate new data very quickly in a
+data warehouse and filter only records that are incorrect with a high
+probability, a high value for specificity is recommended."*
+
+The minimal error confidence is the knob that moves the tool along this
+trade-off. The bench sweeps it and reports the operating curve — the
+ROC-like table a quality engineer would use to pick a threshold for
+either deployment mode.
+"""
+
+import dataclasses
+
+from repro.core import AuditorConfig
+from repro.testenv import ExperimentConfig, TestEnvironment
+
+CONFIDENCE_GRID = (0.5, 0.6, 0.7, 0.8, 0.9, 0.95)
+BASE = ExperimentConfig(n_records=6000, n_rules=100)
+
+
+def test_min_confidence_tradeoff(benchmark, environment: TestEnvironment, record_table):
+    def run_all():
+        results = []
+        for min_confidence in CONFIDENCE_GRID:
+            config = dataclasses.replace(
+                BASE, auditor=AuditorConfig(min_error_confidence=min_confidence)
+            )
+            results.append((min_confidence, environment.run(config)))
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [
+        "E11 — sensitivity/specificity trade-off over the minimal error "
+        "confidence (6000 records, 100 rules)",
+        f"{'min conf':>9}  sensitivity  specificity  precision  flagged",
+    ]
+    for min_confidence, result in results:
+        evaluation = result.evaluation
+        lines.append(
+            f"{min_confidence:>9.2f}  {evaluation.sensitivity:>11.3f}  "
+            f"{evaluation.specificity:>11.4f}  {evaluation.records.precision:>9.3f}  "
+            f"{result.report.n_suspicious:>7d}"
+        )
+    record_table("E11_confidence_tradeoff", "\n".join(lines))
+
+    sensitivities = [result.sensitivity for _, result in results]
+    specificities = [result.specificity for _, result in results]
+    # screening mode (low threshold): maximal detection
+    assert sensitivities[0] == max(sensitivities)
+    # loading mode (high threshold): maximal selectivity
+    assert specificities[-1] == max(specificities)
+    # the curve is monotone in both directions (within small tolerance)
+    for earlier, later in zip(sensitivities, sensitivities[1:]):
+        assert later <= earlier + 0.02
+    for earlier, later in zip(specificities, specificities[1:]):
+        assert later >= earlier - 0.002

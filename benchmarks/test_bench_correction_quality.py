@@ -1,0 +1,78 @@
+"""E5 / sec. 6.1 claim — correction quality correlates with sensitivity.
+
+Paper: *"it was observed that the quality of correction is highly
+correlated to sensitivity."* The bench collects (sensitivity,
+correction-quality) pairs across a spread of settings and reports the
+Pearson correlation.
+"""
+
+import dataclasses
+import math
+
+from repro.testenv import ExperimentConfig
+
+SETTINGS = [
+    dict(n_records=1500, n_rules=100),
+    dict(n_records=3000, n_rules=100),
+    dict(n_records=6000, n_rules=100),
+    dict(n_records=4000, n_rules=10),
+    dict(n_records=4000, n_rules=25),
+    dict(n_records=4000, n_rules=50),
+    dict(n_records=4000, n_rules=150),
+    dict(n_records=4000, n_rules=100, pollution_factor=0.5),
+    dict(n_records=4000, n_rules=100, pollution_factor=2.0),
+    dict(n_records=4000, n_rules=100, pollution_factor=3.0),
+    dict(n_records=4000, n_rules=100, pollution_factor=4.0),
+]
+
+
+def _pearson(xs, ys):
+    n = len(xs)
+    mean_x, mean_y = sum(xs) / n, sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x <= 0 or var_y <= 0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+def test_correction_quality_tracks_sensitivity(benchmark, environment, record_table):
+    def run_all():
+        results = []
+        for overrides in SETTINGS:
+            config = dataclasses.replace(ExperimentConfig(), **overrides)
+            results.append((overrides, environment.run(config)))
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    sensitivities = [result.sensitivity for _, result in results]
+    qualities = [result.evaluation.correction_quality for _, result in results]
+    correlation = _pearson(sensitivities, qualities)
+
+    lines = [
+        "E5 — correction quality vs. sensitivity across settings",
+        f"{'setting':>42}  sensitivity  corr.quality",
+    ]
+    for overrides, result in results:
+        name = ", ".join(f"{k}={v}" for k, v in overrides.items())
+        lines.append(
+            f"{name:>42}  {result.sensitivity:>11.3f}  "
+            f"{result.evaluation.correction_quality:>+12.3f}"
+        )
+    lines.append(f"\nPearson correlation(sensitivity, correction quality) = {correlation:.3f}")
+    record_table("E5_correction_quality", "\n".join(lines))
+
+    # The paper claims "highly correlated"; what reproduces robustly is a
+    # clearly positive association — the settings with the weakest
+    # detection also gain the least from corrections. Absolute quality
+    # values sit well below sensitivity because only the top finding per
+    # record is corrected and discretized numeric proposals (bin medians)
+    # rarely hit the clean value exactly (see EXPERIMENTS.md).
+    assert correlation > 0.3
+    # corrections never meaningfully degrade the data in these settings
+    assert all(quality > -0.05 for quality in qualities)
+    # the strongest-detection setting clearly beats the weakest
+    paired = sorted(zip(sensitivities, qualities))
+    assert paired[-1][1] > paired[0][1]

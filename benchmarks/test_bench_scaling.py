@@ -1,0 +1,66 @@
+"""E12 — scalability of structure induction and deviation detection.
+
+Paper sec. 8: *"As the full database is to be screened, only data mining
+algorithms that scale well with the size of training sets can be
+employed."* (And sec. 6.2 reports 21 minutes for 200 000 records on an
+Athlon 900 MHz.)
+
+The bench measures fit/audit wall-clock over growing QUIS-sample sizes
+and checks near-linear scaling (doubling the data must far less than
+quadruple the time).
+"""
+
+import time
+
+from repro.core import AuditorConfig, DataAuditor
+from repro.quis import generate_quis_sample
+
+SIZES = (10_000, 20_000, 40_000, 80_000)
+
+
+def test_runtime_scales_near_linearly(benchmark, record_table):
+    def run_all():
+        measurements = []
+        for size in SIZES:
+            sample = generate_quis_sample(size, seed=2003)
+            auditor = DataAuditor(
+                sample.schema, AuditorConfig(min_error_confidence=0.8)
+            )
+            started = time.perf_counter()
+            auditor.fit(sample.dirty)
+            fit_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            auditor.audit(sample.dirty)
+            audit_seconds = time.perf_counter() - started
+            measurements.append((size, fit_seconds, audit_seconds))
+        return measurements
+
+    measurements = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [
+        "E12 — runtime scaling on QUIS samples "
+        "(paper: 21 min for 200k records on an Athlon 900 MHz)",
+        f"{'records':>9}  {'fit[s]':>8}  {'audit[s]':>9}  {'total[s]':>9}  "
+        f"{'rec/s':>8}",
+    ]
+    for size, fit_seconds, audit_seconds in measurements:
+        total = fit_seconds + audit_seconds
+        lines.append(
+            f"{size:>9}  {fit_seconds:>8.2f}  {audit_seconds:>9.2f}  "
+            f"{total:>9.2f}  {size / total:>8.0f}"
+        )
+    smallest = measurements[0]
+    largest = measurements[-1]
+    ratio = (largest[1] + largest[2]) / max(smallest[1] + smallest[2], 1e-9)
+    growth = largest[0] / smallest[0]
+    lines.append(
+        f"\n{growth:.0f}× more records → {ratio:.1f}× more time "
+        f"(near-linear; super-quadratic would be {growth ** 2:.0f}×)"
+    )
+    record_table("E12_scaling", "\n".join(lines))
+
+    # well below quadratic growth — the paper's scalability requirement
+    assert ratio < growth * 3
+    # and the absolute throughput makes full-database screening practical
+    total_largest = largest[1] + largest[2]
+    assert largest[0] / total_largest > 500  # records per second

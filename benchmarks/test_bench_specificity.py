@@ -1,0 +1,48 @@
+"""E4 / sec. 6.1 claim — specificity ≈ 99 % in all parameter settings.
+
+Paper: *"For the following we fix a minimal error confidence of 80%. This
+leads to high values for specificity of about 99% in all parameter
+settings described."* The bench spans records / rules / pollution-factor
+settings and reports specificity (and the paper's "synonym", precision —
+see DESIGN.md on the terminology mismatch) for each.
+"""
+
+import dataclasses
+
+from repro.testenv import ExperimentConfig
+
+SETTINGS = [
+    ("records=2000", dict(n_records=2000, n_rules=100, pollution_factor=1.0)),
+    ("records=8000", dict(n_records=8000, n_rules=100, pollution_factor=1.0)),
+    ("rules=25", dict(n_records=4000, n_rules=25, pollution_factor=1.0)),
+    ("rules=200", dict(n_records=4000, n_rules=200, pollution_factor=1.0)),
+    ("factor=0.5", dict(n_records=4000, n_rules=100, pollution_factor=0.5)),
+    ("factor=2.0", dict(n_records=4000, n_rules=100, pollution_factor=2.0)),
+]
+
+
+def test_specificity_across_settings(benchmark, environment, record_table):
+    def run_all():
+        results = []
+        for name, overrides in SETTINGS:
+            config = dataclasses.replace(ExperimentConfig(), **overrides)
+            results.append((name, environment.run(config)))
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [
+        "E4 — specificity at min error confidence 80% across settings",
+        f"{'setting':>14}  specificity  precision  sensitivity",
+    ]
+    for name, result in results:
+        evaluation = result.evaluation
+        lines.append(
+            f"{name:>14}  {evaluation.specificity:>11.4f}  "
+            f"{evaluation.records.precision:>9.3f}  {evaluation.sensitivity:>11.3f}"
+        )
+    record_table("E4_specificity", "\n".join(lines))
+
+    # the paper's headline: uniformly high specificity
+    assert all(result.specificity > 0.97 for _, result in results)
+    assert sum(result.specificity for _, result in results) / len(results) > 0.98

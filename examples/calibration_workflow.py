@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""The domain-driven development loop of figure 1.
+
+The roles of the paper's workflow, played end to end:
+
+1. the *domain expert* describes structural characteristics of the
+   application database → test-generation parameters (a generator
+   profile);
+2. the *test environment* creates artificial data and pollutes it;
+3. the *data-mining expert* benchmarks candidate auditing-tool
+   configurations and adjusts them until the benchmark results are
+   satisfactory;
+4. the winning configuration is what the *quality engineer* would then
+   run against the real database.
+
+Run with:  python examples/calibration_workflow.py
+"""
+
+from repro import AuditorConfig, ConfidenceBounds, ExperimentConfig, calibrate
+from repro.mining import (
+    KnnClassifier,
+    NaiveBayesClassifier,
+    OneRClassifier,
+    TreeClassifier,
+    TreeConfig,
+)
+from repro.core import min_instances_for_confidence
+from repro.testenv import Candidate, TestEnvironment
+
+
+def tree_candidate(name: str, confidence: float, min_error_confidence: float) -> Candidate:
+    """An adjusted-C4.5 candidate at a given interval confidence level."""
+    return Candidate(
+        name,
+        AuditorConfig(
+            min_error_confidence=min_error_confidence,
+            bounds=ConfidenceBounds(confidence),
+        ),
+    )
+
+
+def alternative_candidate(name: str, factory) -> Candidate:
+    """A candidate using one of the sec.-5 alternative classifiers."""
+    return Candidate(name, AuditorConfig(classifier_factory=lambda cfg: factory()))
+
+
+def main() -> None:
+    # step 1+2: the domain expert's profile, exercised by the test
+    # environment (the base configuration of sec. 6.1, scaled down so the
+    # example finishes in well under a minute)
+    benchmark = ExperimentConfig(n_records=3000, n_rules=60, profile_seed=17)
+    environment = TestEnvironment()
+
+    # step 3, iteration 1: which classifier family suits the domain?
+    print("=== iteration 1: algorithm selection ===")
+    families = [
+        tree_candidate("adjusted C4.5 (bounds 0.95)", 0.95, 0.8),
+        alternative_candidate("naive Bayes", NaiveBayesClassifier),
+        alternative_candidate("instance-based (kNN)", lambda: KnnClassifier(k=7)),
+        alternative_candidate("1R rule inducer", OneRClassifier),
+    ]
+    outcomes = calibrate(families, base=benchmark, environment=environment)
+    for outcome in outcomes:
+        print(f"  {outcome.summary()}")
+    winner_family = outcomes[0].candidate.name
+    print(f"  → selected: {winner_family}\n")
+
+    # step 3, iteration 2: tune the interval confidence of the winner
+    print("=== iteration 2: adjusting the confidence-interval level ===")
+    tuning = [
+        tree_candidate(f"adjusted C4.5 (bounds {c:.2f})", c, 0.8)
+        for c in (0.85, 0.90, 0.95, 0.99)
+    ]
+    outcomes = calibrate(tuning, base=benchmark, environment=environment,
+                         specificity_floor=0.985)
+    for outcome in outcomes:
+        print(f"  {outcome.summary()}")
+    best = outcomes[0]
+    print(f"  → calibrated configuration: {best.candidate.name}")
+
+    # step 4: the configuration handed to the quality engineer
+    config = best.candidate.auditor
+    min_inst = min_instances_for_confidence(config.min_error_confidence, config.bounds)
+    print("\n=== resulting auditing-tool parameters ===")
+    print(f"  minimal error confidence : {config.min_error_confidence:.0%}")
+    print(f"  interval method/level    : {config.bounds.method.value} "
+          f"@ {config.bounds.confidence:.2f}")
+    print(f"  derived minInst bound    : {min_inst} instances per leaf class")
+    print(f"  benchmark sensitivity    : {best.sensitivity:.3f}")
+    print(f"  benchmark specificity    : {best.specificity:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The sec.-6.2 case study: auditing a QUIS engine-composition sample.
+
+The real QUIS excerpt (8 attributes, ~200 000 records) is proprietary;
+``repro.quis`` simulates its statistical shape, including the paper's two
+example dependencies with matching supports. This script reproduces the
+narrative of sec. 6.2:
+
+* run the error detection process over the sample,
+* rank suspicious records by error confidence,
+* show the ``BRV = 404 → GBM = 901`` deviation (the paper's top-ranked
+  record at 99.95 % confidence) with its induced rule and support,
+* report the wall-clock of the detection run (the paper: "about 21
+  minutes on an Athlon 900 MHz" for 200 k records).
+
+Run with:  python examples/quis_audit.py [n_records]
+"""
+
+import sys
+import time
+
+from repro import AuditorConfig, DataAuditor
+from repro.quis import generate_quis_sample
+
+
+def main(n_records: int = 50_000) -> None:
+    print(f"simulating a QUIS engine-composition sample ({n_records} records) …")
+    sample = generate_quis_sample(n_records, seed=2003)
+    print(f"  seeded corruption: {sample.log.n_cell_changes} cells "
+          f"in {len(sample.log.corrupted_rows())} records\n")
+
+    auditor = DataAuditor(sample.schema, AuditorConfig(min_error_confidence=0.8))
+    started = time.perf_counter()
+    auditor.fit(sample.dirty)
+    report = auditor.audit(sample.dirty)
+    elapsed = time.perf_counter() - started
+    print(f"error detection took {elapsed:.1f}s "
+          f"and revealed {report.n_suspicious} suspicious records\n")
+
+    print("top 5 suspicious records (ranked by error confidence):")
+    for row in report.suspicious_rows()[:5]:
+        best = report.findings_for_row(row)[0]
+        print(f"  #{row:<7} {best.attribute} = {best.observed_value!r} "
+              f"(expected {best.predicted_label}, "
+              f"confidence {best.confidence:.2%}, n={best.support:,.0f})")
+
+    canonical = sample.canonical_row
+    rank = (report.suspicious_rows().index(canonical) + 1
+            if report.is_flagged(canonical) else None)
+    print(f"\nthe paper's canonical deviation (BRV=404 with GBM=911):")
+    print(f"  flagged: {report.is_flagged(canonical)}, rank: {rank}")
+    for finding in report.findings_for_row(canonical):
+        print(f"  {finding.describe()}")
+
+    print("\ninduced dependencies involving BRV/GBM (the paper's examples):")
+    model = auditor.structure_model()
+    for attr in ("GBM", "BRV"):
+        dataset = auditor.classifiers[attr].dataset
+        for rule in model.get(attr, [])[:3]:
+            print(f"  {rule.describe(dataset, attr)}")
+
+    print("\ninteractive-correction view of the canonical record "
+          "(all classifiers that object):")
+    for finding in report.findings_for_row(canonical):
+        print(f"  classifier[{finding.attribute}] proposes {finding.proposal!r}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 50_000)

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Asynchronous auditing during warehouse loading (paper sec. 2.2).
+
+*"While the time-consuming structure induction can be prepared off-line,
+new data can be checked for deviations and loaded quickly."*
+
+This script plays both roles:
+
+* the **offline** job induces the structure model from the historical
+  warehouse content and persists it as JSON;
+* the **online** load job reloads the model (no training data needed) and
+  screens an incoming batch in milliseconds, splitting it into records to
+  load and records to quarantine for the quality engineer.
+
+Run with:  python examples/warehouse_loading.py
+"""
+
+import random
+import tempfile
+import time
+from pathlib import Path
+
+from repro import AuditorConfig, DataAuditor, load_auditor, save_auditor
+from repro.quis import generate_clean_quis, generate_quis_sample
+
+
+def offline_structure_induction(model_path: Path) -> None:
+    """Nightly job: induce and persist the structure model."""
+    print("=== offline: structure induction on warehouse history ===")
+    sample = generate_quis_sample(30_000, seed=11, error_rate=0.002)
+    auditor = DataAuditor(sample.schema, AuditorConfig(min_error_confidence=0.9))
+    started = time.perf_counter()
+    auditor.fit(sample.dirty)
+    print(f"  induction over {sample.dirty.n_rows} records: "
+          f"{time.perf_counter() - started:.1f}s")
+    save_auditor(auditor, model_path)
+    print(f"  structure model persisted to {model_path} "
+          f"({model_path.stat().st_size / 1024:.0f} KiB)")
+
+
+def online_load_check(model_path: Path) -> None:
+    """Load-time job: screen a fresh batch against the persisted model."""
+    print("\n=== online: deviation check of an incoming batch ===")
+    auditor = load_auditor(model_path)
+
+    # an incoming batch: mostly fine, a few corrupted records
+    rng = random.Random(99)
+    batch = generate_clean_quis(2_000, rng)
+    corrupted_rows = [17, 303, 1500]
+    batch.set_cell(17, "GBM", "936")     # engine code inconsistent with series
+    batch.set_cell(303, "HUBRAUM", 15900)  # displacement out of band
+    batch.set_cell(1500, "WERK", None)   # lost plant code
+
+    started = time.perf_counter()
+    report = auditor.audit(batch)
+    elapsed = time.perf_counter() - started
+    print(f"  checked {batch.n_rows} records in {elapsed * 1000:.0f} ms "
+          f"(no re-training)")
+
+    quarantine = set(report.suspicious_rows())
+    print(f"  loading {batch.n_rows - len(quarantine)} records, "
+          f"quarantining {len(quarantine)}")
+    for row in sorted(quarantine):
+        marker = "seeded" if row in corrupted_rows else "other"
+        best = report.findings_for_row(row)[0]
+        print(f"    row {row:>5} [{marker:>6}] {best.attribute}: "
+              f"observed {best.observed_value!r}, expected {best.predicted_label} "
+              f"({best.confidence:.1%})")
+
+    found = sum(1 for row in corrupted_rows if row in quarantine)
+    print(f"  seeded errors caught: {found}/{len(corrupted_rows)}")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        model_path = Path(tmp) / "quis_structure_model.json"
+        offline_structure_induction(model_path)
+        online_load_check(model_path)
+
+
+if __name__ == "__main__":
+    main()

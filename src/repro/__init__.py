@@ -1,0 +1,184 @@
+"""repro — reproduction of *Systematic Development of Data Mining-Based
+Data Quality Tools* (Luebbers, Grimmer, Jarke; VLDB 2003).
+
+The package mirrors the paper's architecture:
+
+* :mod:`repro.schema` — relational substrate (domains, schemas, tables);
+* :mod:`repro.logic` — the TDG formula/rule language with its pragmatic
+  satisfiability test and naturalness restrictions (sec. 4.1);
+* :mod:`repro.generator` — the rule-pattern-based artificial test data
+  generator (sec. 4.1);
+* :mod:`repro.pollution` — controlled, logged data corruption (sec. 4.2);
+* :mod:`repro.mining` — the auditing-adjusted C4.5 decision tree and the
+  alternative classifiers (sec. 5);
+* :mod:`repro.core` — the data auditing tool itself: multiple
+  classification / regression, error confidence, rankings, corrections,
+  persistence (secs. 2.2, 5);
+* :mod:`repro.testenv` — the fig.-2 benchmark pipeline, sec.-4.3 metrics,
+  figure sweeps, and the fig.-1 calibration loop;
+* :mod:`repro.quis` — the synthetic QUIS engine-composition case-study
+  substrate (secs. 3.2, 6.2).
+
+Quickstart::
+
+    from repro import ExperimentConfig, run_experiment
+
+    result = run_experiment(ExperimentConfig(n_records=2000, n_rules=50))
+    print(result.summary())
+"""
+
+from repro.core import (
+    AuditorConfig,
+    AuditReport,
+    Correction,
+    DataAuditor,
+    Finding,
+    auditor_from_dict,
+    auditor_to_dict,
+    error_confidence,
+    expected_error_confidence,
+    load_auditor,
+    min_instances_for_confidence,
+    record_error_confidence,
+    save_auditor,
+)
+from repro.generator import (
+    BayesianNetwork,
+    GeneratorProfile,
+    RuleGenerationConfig,
+    TestDataGenerator,
+    base_profile,
+    base_schema,
+    generate_natural_rule_set,
+)
+from repro.logic import Rule, find_model, implies, is_natural_rule_set, is_satisfiable
+from repro.mining import (
+    ConfidenceBounds,
+    IntervalMethod,
+    KnnClassifier,
+    NaiveBayesClassifier,
+    OneRClassifier,
+    PrismClassifier,
+    PruningStrategy,
+    TreeClassifier,
+    TreeConfig,
+)
+from repro.pollution import (
+    Duplicator,
+    Limiter,
+    NullValuePolluter,
+    PollutionLog,
+    PollutionPipeline,
+    Switcher,
+    WrongValuePolluter,
+    default_polluters,
+)
+from repro.quis import generate_quis_sample, quis_schema
+from repro.schema import (
+    Attribute,
+    AttributeKind,
+    DateDomain,
+    NominalDomain,
+    NumericDomain,
+    Schema,
+    Table,
+    date,
+    nominal,
+    numeric,
+    read_csv,
+    write_csv,
+)
+from repro.testenv import (
+    ExperimentConfig,
+    ExperimentResult,
+    TestEnvironment,
+    calibrate,
+    default_candidates,
+    evaluate_audit,
+    format_series,
+    run_experiment,
+    sweep_pollution_factor,
+    sweep_records,
+    sweep_rules,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # schema
+    "AttributeKind",
+    "Attribute",
+    "NominalDomain",
+    "NumericDomain",
+    "DateDomain",
+    "Schema",
+    "Table",
+    "nominal",
+    "numeric",
+    "date",
+    "read_csv",
+    "write_csv",
+    # logic
+    "Rule",
+    "is_satisfiable",
+    "find_model",
+    "implies",
+    "is_natural_rule_set",
+    # generator
+    "TestDataGenerator",
+    "GeneratorProfile",
+    "BayesianNetwork",
+    "RuleGenerationConfig",
+    "generate_natural_rule_set",
+    "base_profile",
+    "base_schema",
+    # pollution
+    "PollutionLog",
+    "PollutionPipeline",
+    "WrongValuePolluter",
+    "NullValuePolluter",
+    "Limiter",
+    "Switcher",
+    "Duplicator",
+    "default_polluters",
+    # mining
+    "ConfidenceBounds",
+    "IntervalMethod",
+    "TreeClassifier",
+    "TreeConfig",
+    "PruningStrategy",
+    "NaiveBayesClassifier",
+    "KnnClassifier",
+    "OneRClassifier",
+    "PrismClassifier",
+    # core
+    "DataAuditor",
+    "AuditorConfig",
+    "AuditReport",
+    "Finding",
+    "Correction",
+    "error_confidence",
+    "expected_error_confidence",
+    "record_error_confidence",
+    "min_instances_for_confidence",
+    "auditor_to_dict",
+    "auditor_from_dict",
+    "save_auditor",
+    "load_auditor",
+    # test environment
+    "ExperimentConfig",
+    "ExperimentResult",
+    "TestEnvironment",
+    "run_experiment",
+    "sweep_records",
+    "sweep_rules",
+    "sweep_pollution_factor",
+    "format_series",
+    "calibrate",
+    "default_candidates",
+    "evaluate_audit",
+    # QUIS case study
+    "quis_schema",
+    "generate_quis_sample",
+]

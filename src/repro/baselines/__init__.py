@@ -1,0 +1,24 @@
+"""Related-work baselines (paper sec. 7): Hipp et al.'s association-rule
+data quality mining and LOF-style distance-based outlier detection.
+
+Both implement the ``fit`` / ``audit`` interface of
+:class:`repro.core.DataAuditor` so the test environment can evaluate them
+with the same sec.-4.3 metrics — the comparison benchmark demonstrates the
+limitations the paper cites when arguing for the multiple
+classification / regression approach.
+"""
+
+from repro.baselines.association import (
+    AprioriMiner,
+    AssociationRule,
+    AssociationRuleAuditor,
+)
+from repro.baselines.lof import LofAuditor, lof_scores
+
+__all__ = [
+    "AprioriMiner",
+    "AssociationRule",
+    "AssociationRuleAuditor",
+    "LofAuditor",
+    "lof_scores",
+]

@@ -1,0 +1,253 @@
+"""Command-line interface: the paper's pipeline as shell commands.
+
+The stages of the fig.-2 test environment and the fig.-1 workflow map to
+subcommands over portable artifacts (CSV tables, JSON schemas / models /
+logs):
+
+=============  ================================================================
+``schema``     write a schema JSON (the base-profile schema or the QUIS one)
+``generate``   artificial rule-compliant data (sec. 4.1) → CSV (+ schema)
+``pollute``    controlled corruption (sec. 4.2) → dirty CSV + ground-truth log
+``fit``        structure induction (sec. 5) → persisted model JSON
+``audit``      deviation detection → ranked findings (CSV or stdout)
+``evaluate``   sec. 4.3 metrics of a model against a logged corruption
+=============  ================================================================
+
+Example session::
+
+    repro generate --records 5000 --rules 80 --out clean.csv --schema-out schema.json
+    repro pollute  --schema schema.json --input clean.csv \
+                   --output dirty.csv --log-out truth.json
+    repro fit      --schema schema.json --input dirty.csv --model-out model.json
+    repro audit    --model model.json --input dirty.csv --top 10
+    repro evaluate --schema schema.json --clean clean.csv --dirty dirty.csv \
+                   --log truth.json --model model.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import random
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.auditor import AuditorConfig, DataAuditor
+from repro.core.serialize import load_auditor, save_auditor
+from repro.generator.profiles import base_profile, base_schema
+from repro.pollution.log import PollutionLog
+from repro.pollution.pipeline import PollutionPipeline, default_polluters
+from repro.quis.simulator import quis_schema
+from repro.schema.io import read_csv, write_csv
+from repro.schema.serialize import schema_from_dict, schema_to_dict
+from repro.testenv.metrics import evaluate_audit
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (one subcommand per pipeline stage)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Data auditing tools (VLDB 2003 reproduction): "
+        "generate, pollute, fit, audit, evaluate.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_schema = sub.add_parser("schema", help="write a schema JSON")
+    p_schema.add_argument("--kind", choices=("base", "quis"), default="base")
+    p_schema.add_argument("--out", required=True, type=Path)
+
+    p_generate = sub.add_parser("generate", help="generate artificial test data")
+    p_generate.add_argument("--records", type=int, default=5000)
+    p_generate.add_argument("--rules", type=int, default=100)
+    p_generate.add_argument("--seed", type=int, default=42)
+    p_generate.add_argument("--data-seed", type=int, default=1)
+    p_generate.add_argument("--out", required=True, type=Path)
+    p_generate.add_argument("--schema-out", type=Path)
+    p_generate.add_argument(
+        "--schema",
+        type=Path,
+        help="generate against this schema JSON instead of the base profile "
+        "(requires --rules-file)",
+    )
+    p_generate.add_argument(
+        "--rules-file",
+        type=Path,
+        help="text file with one TDG-rule per line "
+        "(e.g. \"BRV = '404' -> GBM = '901'\"); used with --schema",
+    )
+
+    p_pollute = sub.add_parser("pollute", help="apply controlled corruption")
+    p_pollute.add_argument("--schema", required=True, type=Path)
+    p_pollute.add_argument("--input", required=True, type=Path)
+    p_pollute.add_argument("--output", required=True, type=Path)
+    p_pollute.add_argument("--log-out", type=Path)
+    p_pollute.add_argument("--factor", type=float, default=1.0)
+    p_pollute.add_argument("--seed", type=int, default=2)
+
+    p_fit = sub.add_parser("fit", help="induce and persist the structure model")
+    p_fit.add_argument("--schema", required=True, type=Path)
+    p_fit.add_argument("--input", required=True, type=Path)
+    p_fit.add_argument("--model-out", required=True, type=Path)
+    p_fit.add_argument("--min-confidence", type=float, default=0.8)
+
+    p_audit = sub.add_parser("audit", help="detect deviations with a fitted model")
+    p_audit.add_argument("--model", required=True, type=Path)
+    p_audit.add_argument("--input", required=True, type=Path)
+    p_audit.add_argument("--findings-out", type=Path)
+    p_audit.add_argument("--top", type=int, default=10)
+
+    p_evaluate = sub.add_parser(
+        "evaluate", help="sec. 4.3 metrics against a pollution log"
+    )
+    p_evaluate.add_argument("--schema", required=True, type=Path)
+    p_evaluate.add_argument("--clean", required=True, type=Path)
+    p_evaluate.add_argument("--dirty", required=True, type=Path)
+    p_evaluate.add_argument("--log", required=True, type=Path)
+    p_evaluate.add_argument("--model", required=True, type=Path)
+
+    return parser
+
+
+def _load_schema(path: Path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return schema_from_dict(json.load(handle))
+
+
+def _cmd_schema(args: argparse.Namespace) -> int:
+    schema = quis_schema() if args.kind == "quis" else base_schema()
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(schema_to_dict(schema), handle, indent=2)
+    print(f"wrote {args.kind} schema ({len(schema)} attributes) to {args.out}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if (args.schema is None) != (args.rules_file is None):
+        raise SystemExit("--schema and --rules-file must be used together")
+    if args.schema is not None:
+        from repro.generator.datagen import TestDataGenerator
+        from repro.logic.parse import parse_rules
+
+        schema = _load_schema(args.schema)
+        rules = parse_rules(args.rules_file.read_text(encoding="utf-8"), schema)
+        generator = TestDataGenerator(schema, rules)
+        n_rules = len(rules)
+        out_schema = schema
+    else:
+        profile = base_profile(n_rules=args.rules, seed=args.seed)
+        generator = profile.build_generator()
+        n_rules = len(profile.rules)
+        out_schema = profile.schema
+    table = generator.generate(args.records, random.Random(args.data_seed))
+    write_csv(table, args.out)
+    print(f"generated {table.n_rows} records over {n_rules} rules to {args.out}")
+    if args.schema_out:
+        with open(args.schema_out, "w", encoding="utf-8") as handle:
+            json.dump(schema_to_dict(out_schema), handle, indent=2)
+        print(f"wrote schema to {args.schema_out}")
+    return 0
+
+
+def _cmd_pollute(args: argparse.Namespace) -> int:
+    schema = _load_schema(args.schema)
+    table = read_csv(schema, args.input)
+    pipeline = PollutionPipeline(default_polluters(), factor=args.factor)
+    dirty, log = pipeline.apply(table, random.Random(args.seed))
+    write_csv(dirty, args.output)
+    print(
+        f"polluted {table.n_rows} → {dirty.n_rows} records "
+        f"({log.n_cell_changes} cell changes, {log.n_duplicated} duplicates, "
+        f"{log.n_deleted} deletions) to {args.output}"
+    )
+    if args.log_out:
+        with open(args.log_out, "w", encoding="utf-8") as handle:
+            json.dump(log.to_dict(), handle)
+        print(f"wrote ground-truth log to {args.log_out}")
+    return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    schema = _load_schema(args.schema)
+    table = read_csv(schema, args.input)
+    auditor = DataAuditor(
+        schema, AuditorConfig(min_error_confidence=args.min_confidence)
+    )
+    auditor.fit(table)
+    save_auditor(auditor, args.model_out)
+    print(
+        f"induced structure model from {table.n_rows} records "
+        f"in {auditor.fit_seconds:.1f}s → {args.model_out}"
+    )
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    auditor = load_auditor(args.model)
+    table = read_csv(auditor.schema, args.input)
+    report = auditor.audit(table)
+    print(
+        f"audited {table.n_rows} records: {report.n_suspicious} suspicious, "
+        f"{len(report.findings)} findings at ≥ "
+        f"{report.min_error_confidence:.0%} confidence"
+    )
+    for finding in report.ranked_findings(args.top):
+        print(f"  {finding.describe()}")
+    if args.findings_out:
+        with open(args.findings_out, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                ["row", "attribute", "observed", "expected", "confidence", "support", "proposal"]
+            )
+            for finding in report.findings:
+                writer.writerow(
+                    [
+                        finding.row,
+                        finding.attribute,
+                        finding.observed_value,
+                        finding.predicted_label,
+                        f"{finding.confidence:.6f}",
+                        f"{finding.support:.2f}",
+                        finding.proposal,
+                    ]
+                )
+        print(f"wrote all findings to {args.findings_out}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    schema = _load_schema(args.schema)
+    clean = read_csv(schema, args.clean)
+    dirty = read_csv(schema, args.dirty)
+    with open(args.log, "r", encoding="utf-8") as handle:
+        log = PollutionLog.from_dict(json.load(handle))
+    auditor = load_auditor(args.model)
+    report = auditor.audit(dirty)
+    result = evaluate_audit(report, log, clean, dirty)
+    print(result.records.to_table())
+    print()
+    print(result.summary())
+    return 0
+
+
+_COMMANDS = {
+    "schema": _cmd_schema,
+    "generate": _cmd_generate,
+    "pollute": _cmd_pollute,
+    "fit": _cmd_fit,
+    "audit": _cmd_audit,
+    "evaluate": _cmd_evaluate,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""The paper's primary contribution: the data auditing tool.
+
+Multiple classification / regression auditor (sec. 5), error-confidence
+measures (Defs. 7–9), ranked findings and correction proposals
+(sec. 5.2–5.3), structure model, and model persistence for the
+asynchronous warehouse-loading workflow (sec. 2.2).
+"""
+
+from repro.core.auditor import AuditorConfig, DataAuditor
+from repro.core.confidence import (
+    error_confidence,
+    error_confidence_from_counts,
+    expected_error_confidence,
+    min_instances_for_confidence,
+    record_error_confidence,
+)
+from repro.core.findings import AuditReport, Correction, Finding
+from repro.core.review import Decision, DecisionKind, ReviewItem, ReviewSession
+from repro.core.serialize import (
+    auditor_from_dict,
+    auditor_to_dict,
+    load_auditor,
+    save_auditor,
+)
+
+__all__ = [
+    "DataAuditor",
+    "AuditorConfig",
+    "AuditReport",
+    "Finding",
+    "Correction",
+    "error_confidence",
+    "error_confidence_from_counts",
+    "expected_error_confidence",
+    "min_instances_for_confidence",
+    "record_error_confidence",
+    "auditor_to_dict",
+    "auditor_from_dict",
+    "save_auditor",
+    "load_auditor",
+    "ReviewSession",
+    "ReviewItem",
+    "Decision",
+    "DecisionKind",
+]

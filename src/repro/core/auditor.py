@@ -1,0 +1,251 @@
+"""The data auditing tool: the multiple classification / regression
+approach of sec. 5.
+
+For every attribute of the relation a classifier is induced predicting it
+from the remaining (*base*) attributes. Checking a record compares each
+observed value with the corresponding classifier's predicted class
+distribution and converts the deviation into the error confidence of
+Def. 7; the record-level confidence is the maximum over all classifiers
+(Def. 8).
+
+Structure induction (:meth:`DataAuditor.fit`) and deviation detection
+(:meth:`DataAuditor.audit`) are separate steps that may run
+asynchronously — sec. 2.2's warehouse-loading scenario induces offline and
+checks new loads online; :mod:`repro.core.serialize` persists the fitted
+state in between.
+
+Domain knowledge plugs in through :attr:`AuditorConfig.base_attributes`
+("If it is known that an attribute does not influence the value of a class
+attribute, it can be removed from the set of base attributes") and
+:attr:`AuditorConfig.audited_attributes`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.findings import AuditReport, Finding
+from repro.mining.base import AttributeClassifier
+from repro.mining.confidence import error_confidence, min_instances_for_confidence
+from repro.mining.dataset import Dataset
+from repro.mining.intervals import ConfidenceBounds
+from repro.mining.tree.grow import TreeConfig
+from repro.mining.tree_classifier import TreeClassifier
+from repro.mining.tree.rules import TreeRule
+from repro.schema.schema import Schema
+from repro.schema.table import Table
+
+__all__ = ["AuditorConfig", "DataAuditor"]
+
+
+def _default_classifier_factory(config: "AuditorConfig") -> AttributeClassifier:
+    """The production classifier: auditing-adjusted C4.5 with minInst
+    pre-pruning derived from the minimal error confidence (sec. 5.4)."""
+    min_inst = min_instances_for_confidence(config.min_error_confidence, config.bounds)
+    return TreeClassifier(
+        TreeConfig(
+            min_class_instances=float(min_inst),
+            bounds=config.bounds,
+            min_detection_confidence=config.min_error_confidence,
+        )
+    )
+
+
+@dataclass
+class AuditorConfig:
+    """Configuration of the data auditing tool.
+
+    Attributes
+    ----------
+    min_error_confidence:
+        Findings below this Def.-7 confidence are discarded ("If we let
+        the user restrict his interest by giving a minimal confidence for
+        detected errors…"). The paper's evaluation fixes 0.80.
+    bounds:
+        Confidence-interval parameterization shared by the error
+        confidence, the expected-error-confidence pruning, and the
+        derived minInst bound.
+    n_bins:
+        Equal-frequency bins for numeric/date class attributes.
+    classifier_factory:
+        Callable returning a fresh :class:`AttributeClassifier` per
+        audited attribute; defaults to the adjusted C4.5.
+    base_attributes:
+        Optional domain knowledge: explicit base-attribute lists per class
+        attribute (default: all other attributes).
+    audited_attributes:
+        Restrict auditing to these attributes (default: all).
+    """
+
+    min_error_confidence: float = 0.80
+    bounds: ConfidenceBounds = field(default_factory=lambda: ConfidenceBounds(0.95))
+    n_bins: int = 10
+    classifier_factory: Optional[Callable[["AuditorConfig"], AttributeClassifier]] = None
+    base_attributes: Mapping[str, Sequence[str]] = field(default_factory=dict)
+    audited_attributes: Optional[Sequence[str]] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.min_error_confidence < 1.0:
+            raise ValueError("min_error_confidence must lie strictly in (0, 1)")
+        if self.n_bins < 2:
+            raise ValueError("n_bins must be at least 2")
+
+    def make_classifier(self) -> AttributeClassifier:
+        factory = self.classifier_factory or _default_classifier_factory
+        return factory(self)
+
+
+class _ArrayRow(Mapping):
+    """A zero-copy record view over pre-encoded column arrays (prediction
+    only touches the attributes along a tree path, so building a dict per
+    row per classifier would dominate audit time)."""
+
+    __slots__ = ("columns", "index")
+
+    def __init__(self, columns: Mapping[str, np.ndarray]):
+        self.columns = columns
+        self.index = 0
+
+    def __getitem__(self, name: str):
+        return self.columns[name][self.index]
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+
+class DataAuditor:
+    """The paper's data auditing tool (structure induction + deviation
+    detection + correction proposal)."""
+
+    def __init__(self, schema: Schema, config: Optional[AuditorConfig] = None):
+        self.schema = schema
+        self.config = config or AuditorConfig()
+        self.classifiers: dict[str, AttributeClassifier] = {}
+        self.fit_seconds: float = 0.0
+
+    # -- structure induction -------------------------------------------------
+
+    def audited_attributes(self) -> list[str]:
+        if self.config.audited_attributes is not None:
+            return [name for name in self.config.audited_attributes]
+        return list(self.schema.names)
+
+    def base_attributes_for(self, class_attr: str) -> list[str]:
+        configured = self.config.base_attributes.get(class_attr)
+        if configured is not None:
+            return [name for name in configured if name != class_attr]
+        return [name for name in self.schema.names if name != class_attr]
+
+    def fit(self, table: Table) -> "DataAuditor":
+        """Induce one classifier per audited attribute (sec. 5's structure
+        induction; may run offline, see module docstring)."""
+        if table.schema != self.schema:
+            raise ValueError("table schema does not match the auditor's schema")
+        started = time.perf_counter()
+        self.classifiers = {}
+        for class_attr in self.audited_attributes():
+            dataset = Dataset(
+                table,
+                class_attr,
+                self.base_attributes_for(class_attr),
+                n_bins=self.config.n_bins,
+            )
+            classifier = self.config.make_classifier()
+            classifier.fit(dataset)
+            self.classifiers[class_attr] = classifier
+        self.fit_seconds = time.perf_counter() - started
+        return self
+
+    # -- deviation detection ---------------------------------------------------
+
+    def audit(self, table: Table) -> AuditReport:
+        """Check every record of *table* for deviations (sec. 5.2).
+
+        The table may be the training table itself (the paper: "a data
+        auditing tool should work both when training sets and test data
+        are separate and when there is only a single database which serves
+        both for training and data audit") or a fresh load.
+        """
+        if not self.classifiers:
+            raise RuntimeError("auditor is not fitted")
+        if table.schema != self.schema:
+            raise ValueError("table schema does not match the auditor's schema")
+        n_rows = table.n_rows
+        record_confidence = np.zeros(n_rows, dtype=float)
+        findings: list[Finding] = []
+        threshold = self.config.min_error_confidence
+        bounds = self.config.bounds
+        for class_attr, classifier in self.classifiers.items():
+            dataset = classifier.dataset
+            assert dataset is not None
+            encoded_columns = {
+                name: dataset.encoders[name].encode_column(table.column(name))
+                for name in dataset.base_attrs
+            }
+            class_values = table.column(class_attr)
+            observed_codes = dataset.class_encoder.encode_column(class_values)
+            row_view = _ArrayRow(encoded_columns)
+            labels = dataset.class_encoder.labels
+            for row in range(n_rows):
+                row_view.index = row
+                prediction = classifier.predict_encoded(row_view)
+                observed = int(observed_codes[row])
+                confidence = error_confidence(
+                    prediction.probabilities, prediction.n, observed, bounds
+                )
+                if confidence <= 0.0:
+                    continue
+                if confidence > record_confidence[row]:
+                    record_confidence[row] = confidence
+                if confidence >= threshold:
+                    predicted_label = prediction.predicted_label
+                    findings.append(
+                        Finding(
+                            row=row,
+                            attribute=class_attr,
+                            observed_label=labels[observed],
+                            observed_value=class_values[row],
+                            predicted_label=predicted_label,
+                            confidence=confidence,
+                            support=prediction.n,
+                            proposal=dataset.class_encoder.proposal_for(predicted_label),
+                        )
+                    )
+        return AuditReport(n_rows, findings, record_confidence.tolist(), threshold)
+
+    # -- structure model ----------------------------------------------------------
+
+    def structure_model(self) -> dict[str, list[TreeRule]]:
+        """The per-attribute rule sets (sec. 5.4): "The rule sets generated
+        by all classifiers … build the structure model of the data. In
+        database terminology it can be seen as a set of integrity
+        constraints that must hold with a given probability."
+
+        Only tree classifiers contribute rules; other classifier types are
+        skipped.
+        """
+        model: dict[str, list[TreeRule]] = {}
+        for class_attr, classifier in self.classifiers.items():
+            if isinstance(classifier, TreeClassifier):
+                model[class_attr] = classifier.rules()
+        return model
+
+    def describe_structure(self, max_rules_per_attribute: int = 5) -> str:
+        """Human-readable rendering of the structure model."""
+        lines: list[str] = []
+        for class_attr, rules in self.structure_model().items():
+            lines.append(f"classifier for {class_attr}:")
+            for rule in rules[:max_rules_per_attribute]:
+                dataset = self.classifiers[class_attr].dataset
+                assert dataset is not None
+                lines.append(f"  {rule.describe(dataset)}")
+            if len(rules) > max_rules_per_attribute:
+                lines.append(f"  … {len(rules) - max_rules_per_attribute} more rules")
+        return "\n".join(lines)

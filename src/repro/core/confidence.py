@@ -1,0 +1,37 @@
+"""Error confidence — re-exported from :mod:`repro.mining.confidence`.
+
+The primitives live in the mining layer because the adjusted tree grower
+uses the expected error confidence during construction (sec. 5.4); the
+public auditing API exposes them here, alongside the record-level
+aggregation of Def. 8.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.mining.confidence import (
+    error_confidence,
+    error_confidence_from_counts,
+    expected_error_confidence,
+    min_instances_for_confidence,
+)
+
+__all__ = [
+    "error_confidence",
+    "error_confidence_from_counts",
+    "expected_error_confidence",
+    "min_instances_for_confidence",
+    "record_error_confidence",
+]
+
+
+def record_error_confidence(classifier_confidences: Iterable[float]) -> float:
+    """Def. 8: the overall error confidence of a record is the **maximum**
+    of the error confidences w.r.t. the individual classifiers.
+
+    (The paper explicitly rejects summing scores à la Hipp et al., because
+    values prescribed by one violated rule might inhibit the applicability
+    of another.)
+    """
+    return max(classifier_confidences, default=0.0)

@@ -1,0 +1,145 @@
+"""Audit findings: suspicious cells, record rankings, and corrections.
+
+Sec. 5.2–5.3: each classifier contributes an error confidence per record;
+the record's overall error confidence is the maximum (Def. 8); suspicious
+records are ranked by it (the QUIS case study: "These records were ranked
+according to their associated error confidence"); and the correction
+proposal replaces the suspicious value "according to the prediction of the
+classifier with the highest error confidence".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.schema.table import Table
+from repro.schema.types import Value
+
+__all__ = ["Finding", "Correction", "AuditReport"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One classifier's deviation verdict for one record."""
+
+    row: int
+    attribute: str
+    observed_label: str
+    observed_value: Value
+    predicted_label: str
+    confidence: float
+    support: float
+    proposal: Value
+
+    def describe(self) -> str:
+        return (
+            f"row {self.row}: {self.attribute} = {self.observed_value!r} "
+            f"deviates (expected {self.predicted_label}, "
+            f"confidence {self.confidence:.2%}, n={self.support:g})"
+        )
+
+
+@dataclass(frozen=True)
+class Correction:
+    """The proposed replacement for one suspicious record (sec. 5.3)."""
+
+    row: int
+    attribute: str
+    old_value: Value
+    new_value: Value
+    confidence: float
+
+
+class AuditReport:
+    """Outcome of one deviation-detection run.
+
+    Contains *all* findings above the auditor's minimal error confidence,
+    plus the Def. 8 record confidences for every row (zero for records no
+    classifier objected to).
+    """
+
+    def __init__(
+        self,
+        n_rows: int,
+        findings: Iterable[Finding],
+        record_confidence: Sequence[float],
+        min_error_confidence: float,
+    ):
+        self.n_rows = n_rows
+        self.findings: list[Finding] = sorted(
+            findings, key=lambda f: (-f.confidence, f.row, f.attribute)
+        )
+        self.record_confidence = list(record_confidence)
+        if len(self.record_confidence) != n_rows:
+            raise ValueError("record_confidence must cover every row")
+        self.min_error_confidence = min_error_confidence
+        self._by_row: dict[int, list[Finding]] = {}
+        for finding in self.findings:
+            self._by_row.setdefault(finding.row, []).append(finding)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def n_suspicious(self) -> int:
+        return len(self._by_row)
+
+    def suspicious_rows(self) -> list[int]:
+        """Rows flagged at the configured minimal error confidence, ranked
+        by descending record confidence."""
+        return sorted(
+            self._by_row, key=lambda row: (-self.record_confidence[row], row)
+        )
+
+    def is_flagged(self, row: int) -> bool:
+        return row in self._by_row
+
+    def findings_for_row(self, row: int) -> list[Finding]:
+        """All deviations of one record (useful in interactive correction:
+        "the predicted distributions of all classifiers that indicate a
+        data error can be useful in finding the true reason")."""
+        return list(self._by_row.get(row, ()))
+
+    def ranked_findings(self, limit: Optional[int] = None) -> list[Finding]:
+        """Findings sorted by descending confidence."""
+        return self.findings[: limit if limit is not None else len(self.findings)]
+
+    # -- corrections (sec. 5.3) ------------------------------------------------
+
+    def corrections(self) -> list[Correction]:
+        """One proposal per suspicious record: the prediction of the
+        classifier with the highest error confidence."""
+        proposals = []
+        for row, row_findings in sorted(self._by_row.items()):
+            best = max(row_findings, key=lambda f: f.confidence)
+            proposals.append(
+                Correction(
+                    row=row,
+                    attribute=best.attribute,
+                    old_value=best.observed_value,
+                    new_value=best.proposal,
+                    confidence=best.confidence,
+                )
+            )
+        return proposals
+
+    def apply_corrections(self, table: Table) -> Table:
+        """A copy of *table* with all proposals applied.
+
+        Findings that do not address a real column (record-level detectors
+        such as LOF report a pseudo-attribute) are skipped — they carry no
+        cell proposal.
+        """
+        corrected = table.copy()
+        for correction in self.corrections():
+            if correction.attribute not in table.schema:
+                continue
+            corrected.set_cell(correction.row, correction.attribute, correction.new_value)
+        return corrected
+
+    def __repr__(self) -> str:
+        return (
+            f"AuditReport(rows={self.n_rows}, findings={len(self.findings)}, "
+            f"suspicious={self.n_suspicious}, "
+            f"min_conf={self.min_error_confidence:.0%})"
+        )

@@ -1,0 +1,194 @@
+"""Interactive error correction for the quality engineer (secs. 3.1, 5.3).
+
+The paper is explicit that corrections must stay supervised: *"Outliers
+can be correct and of great importance for analysis. Therefore, the
+correction of outliers should always be supervised by a quality
+engineer."* And sec. 5.3: *"In interactive error correction, the
+predicted distributions of all classifiers that indicate a data error can
+be useful in finding the true reason for a possible error. This is
+because a difference between an observed and predicted value sometimes
+lays in erroneous base attribute values."*
+
+:class:`ReviewSession` is the programmatic core of that workflow: it
+walks the ranked suspicious records, presents *all* classifier objections
+for each (not just the strongest), and records the engineer's decisions —
+accept the proposal, substitute a custom value, or dismiss the record as
+a correct outlier. The session produces the corrected table and an audit
+trail of decisions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.core.findings import AuditReport, Finding
+from repro.schema.table import Table
+from repro.schema.types import Value
+
+__all__ = ["DecisionKind", "Decision", "ReviewItem", "ReviewSession"]
+
+
+class DecisionKind(enum.Enum):
+    """The quality engineer's possible verdicts for a suspicious record."""
+
+    #: apply one finding's proposed value
+    ACCEPT = "accept"
+    #: apply an engineer-supplied value to a chosen attribute
+    CUSTOM = "custom"
+    #: keep the record as is (a correct outlier)
+    DISMISS = "dismiss"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One recorded decision of the quality engineer."""
+
+    row: int
+    kind: DecisionKind
+    attribute: Optional[str] = None
+    old_value: Value = None
+    new_value: Value = None
+    note: str = ""
+
+
+@dataclass
+class ReviewItem:
+    """One suspicious record queued for review."""
+
+    row: int
+    record_confidence: float
+    findings: list[Finding]
+
+    def describe(self) -> str:
+        lines = [
+            f"record {self.row} (overall error confidence "
+            f"{self.record_confidence:.2%}):"
+        ]
+        for finding in self.findings:
+            lines.append(
+                f"  [{finding.attribute}] observed {finding.observed_value!r}, "
+                f"expected {finding.predicted_label} "
+                f"(confidence {finding.confidence:.2%}, n={finding.support:g}) "
+                f"→ proposal {finding.proposal!r}"
+            )
+        return "\n".join(lines)
+
+
+class ReviewSession:
+    """A supervised pass over an audit report's suspicious records.
+
+    The session never mutates the input table; :meth:`corrected_table`
+    materializes the decisions taken so far.
+    """
+
+    def __init__(self, report: AuditReport, table: Table):
+        if report.n_rows != table.n_rows:
+            raise ValueError("report and table cover different numbers of rows")
+        self.report = report
+        self.table = table
+        self.decisions: dict[int, Decision] = {}
+
+    # -- queue ----------------------------------------------------------------
+
+    def pending(self) -> list[ReviewItem]:
+        """Suspicious records without a decision, ranked by confidence."""
+        return [
+            ReviewItem(
+                row=row,
+                record_confidence=self.report.record_confidence[row],
+                findings=self.report.findings_for_row(row),
+            )
+            for row in self.report.suspicious_rows()
+            if row not in self.decisions
+        ]
+
+    def __iter__(self) -> Iterator[ReviewItem]:
+        return iter(self.pending())
+
+    @property
+    def n_pending(self) -> int:
+        return len(self.pending())
+
+    # -- decisions ------------------------------------------------------------
+
+    def _require_flagged(self, row: int) -> None:
+        if not self.report.is_flagged(row):
+            raise ValueError(f"row {row} is not among the suspicious records")
+
+    def accept(self, row: int, attribute: Optional[str] = None, note: str = "") -> Decision:
+        """Accept a finding's proposal (default: the strongest finding)."""
+        self._require_flagged(row)
+        findings = self.report.findings_for_row(row)
+        if attribute is None:
+            finding = max(findings, key=lambda f: f.confidence)
+        else:
+            matching = [f for f in findings if f.attribute == attribute]
+            if not matching:
+                raise ValueError(f"no finding for attribute {attribute!r} in row {row}")
+            finding = matching[0]
+        decision = Decision(
+            row=row,
+            kind=DecisionKind.ACCEPT,
+            attribute=finding.attribute,
+            old_value=self.table.cell(row, finding.attribute),
+            new_value=finding.proposal,
+            note=note,
+        )
+        self.decisions[row] = decision
+        return decision
+
+    def correct(self, row: int, attribute: str, value: Value, note: str = "") -> Decision:
+        """Apply an engineer-supplied replacement value."""
+        self._require_flagged(row)
+        attribute_obj = self.table.schema.attribute(attribute)
+        if not attribute_obj.admits(value):
+            raise ValueError(
+                f"value {value!r} is not admissible for attribute {attribute!r}"
+            )
+        decision = Decision(
+            row=row,
+            kind=DecisionKind.CUSTOM,
+            attribute=attribute,
+            old_value=self.table.cell(row, attribute),
+            new_value=value,
+            note=note,
+        )
+        self.decisions[row] = decision
+        return decision
+
+    def dismiss(self, row: int, note: str = "") -> Decision:
+        """Mark the record as a correct outlier (no change)."""
+        self._require_flagged(row)
+        decision = Decision(row=row, kind=DecisionKind.DISMISS, note=note)
+        self.decisions[row] = decision
+        return decision
+
+    def undo(self, row: int) -> None:
+        """Drop the decision for *row* (it returns to the queue)."""
+        self.decisions.pop(row, None)
+
+    # -- results ---------------------------------------------------------------
+
+    def corrected_table(self) -> Table:
+        """A copy of the table with all accepted/custom decisions applied."""
+        corrected = self.table.copy()
+        for decision in self.decisions.values():
+            if decision.kind is DecisionKind.DISMISS:
+                continue
+            assert decision.attribute is not None
+            corrected.set_cell(decision.row, decision.attribute, decision.new_value)
+        return corrected
+
+    def summary(self) -> str:
+        counts = {kind: 0 for kind in DecisionKind}
+        for decision in self.decisions.values():
+            counts[decision.kind] += 1
+        return (
+            f"reviewed {len(self.decisions)} of {self.report.n_suspicious} "
+            f"suspicious records: {counts[DecisionKind.ACCEPT]} accepted, "
+            f"{counts[DecisionKind.CUSTOM]} custom, "
+            f"{counts[DecisionKind.DISMISS]} dismissed; "
+            f"{self.n_pending} pending"
+        )

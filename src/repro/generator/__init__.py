@@ -1,0 +1,41 @@
+"""Artificial test-data generation (paper sec. 4.1).
+
+Start distributions (univariate + Bayesian-network multivariate), random
+natural rule sets, and the rule-repairing record generator.
+"""
+
+from repro.generator.bayes import BayesianNetwork
+from repro.generator.datagen import GenerationError, GenerationStats, TestDataGenerator
+from repro.generator.distributions import (
+    Categorical,
+    Distribution,
+    Exponential,
+    Normal,
+    NullMixture,
+    Uniform,
+)
+from repro.generator.profiles import GeneratorProfile, base_profile, base_schema
+from repro.generator.rulegen import (
+    RuleGenerationConfig,
+    RuleGenerator,
+    generate_natural_rule_set,
+)
+
+__all__ = [
+    "Distribution",
+    "Uniform",
+    "Normal",
+    "Exponential",
+    "Categorical",
+    "NullMixture",
+    "BayesianNetwork",
+    "RuleGenerationConfig",
+    "RuleGenerator",
+    "generate_natural_rule_set",
+    "TestDataGenerator",
+    "GenerationError",
+    "GenerationStats",
+    "GeneratorProfile",
+    "base_profile",
+    "base_schema",
+]

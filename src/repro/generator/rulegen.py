@@ -1,0 +1,428 @@
+"""Random generation of natural TDG rule sets (sec. 4.1.2).
+
+The generator draws candidate rules from a parameterizable distribution
+over rule shapes — the paper: *"the rule generation process can be further
+parameterized to govern the complexity of a rule (e.g. nesting depth or
+number of atomic subformulae)"* — and keeps a candidate only if
+
+1. it is a *natural TDG-rule* (Def. 5), and
+2. adding it keeps the set a *natural rule set* (Def. 6, pairwise check).
+
+Consequence atoms are drawn over attributes disjoint from the premise
+attributes, so every accepted rule expresses a genuine inter-attribute
+dependency (the kind of expert-identified dependency the QUIS domain
+motivated).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.logic.atoms import (
+    Atom,
+    Eq,
+    EqAttr,
+    Gt,
+    GtAttr,
+    IsNotNull,
+    IsNull,
+    Lt,
+    LtAttr,
+    Ne,
+    NeAttr,
+)
+from repro.logic.base import Formula
+from repro.logic.formulas import conjoin, disjoin
+from repro.logic.natural import (
+    can_extend_rule_set,
+    is_natural_rule,
+    rule_pair_cofire_consistent,
+)
+from repro.logic.rules import Rule
+from repro.schema.attribute import Attribute
+from repro.schema.domain import DateDomain, NominalDomain, NumericDomain
+from repro.schema.schema import Schema
+
+__all__ = ["RuleGenerationConfig", "RuleGenerator", "generate_natural_rule_set"]
+
+
+@dataclass
+class RuleGenerationConfig:
+    """Complexity knobs of the random rule generator.
+
+    Attributes
+    ----------
+    max_premise_atoms / max_consequence_atoms:
+        Upper bounds on the number of atomic subformulae per side; actual
+        counts are drawn uniformly from ``1..max``.
+    disjunction_probability:
+        Probability that a multi-atom side becomes a disjunction rather
+        than a conjunction.
+    relational_probability:
+        Probability that an atom compares two attributes instead of an
+        attribute with a constant.
+    null_atom_probability:
+        Probability of an ``isnull`` / ``isnotnull`` atom.
+    max_attempts_per_rule:
+        Candidate draws before the generator gives up on one more rule.
+    enforce_cofire_consistency:
+        Additionally require
+        :func:`repro.logic.natural.rule_pair_cofire_consistent` for every
+        pair — rules whose premises can fire on the same record must have
+        jointly satisfiable consequences. Without it, random rule sets
+        contain conflicts Def. 6 cannot see, and the rule-repairing data
+        generator degenerates (records collapse onto attractor states full
+        of nulls). Disable only to study that failure mode.
+    """
+
+    min_premise_atoms: int = 1
+    max_premise_atoms: int = 2
+    max_consequence_atoms: int = 1
+    disjunction_probability: float = 0.2
+    relational_probability: float = 0.1
+    null_atom_probability: float = 0.05
+    max_attempts_per_rule: int = 150
+    enforce_cofire_consistency: bool = True
+    #: reject premises estimated to hold on more than this record fraction
+    #: (under independent uniform value assignments). Broad premises turn
+    #: their rules into near-global constraints: rule repair then skews the
+    #: consequence attribute's marginal so far (e.g. 90/5/5) that the
+    #: *legitimate* minority values score above typical minimal error
+    #: confidences — flooding every audit with false positives, which the
+    #: paper's ≈99 % specificity rules out.
+    max_premise_coverage: float = 0.3
+    #: cap on the *cumulative* estimated premise coverage of all rules
+    #: pinning the same (attribute = value) consequence. Several individually
+    #: selective rules that all force, say, C1 = v1 would still skew C1's
+    #: marginal past the point where its legitimate minority values look
+    #: like errors; this bounds the total repair pressure per value.
+    max_pinned_coverage: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.max_premise_atoms < 1 or self.max_consequence_atoms < 1:
+            raise ValueError("atom counts must be at least 1")
+        if not 1 <= self.min_premise_atoms <= self.max_premise_atoms:
+            raise ValueError("need 1 ≤ min_premise_atoms ≤ max_premise_atoms")
+        for name in (
+            "disjunction_probability",
+            "relational_probability",
+            "null_atom_probability",
+        ):
+            probability = getattr(self, name)
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1]")
+        if self.max_attempts_per_rule < 1:
+            raise ValueError("max_attempts_per_rule must be positive")
+        if not 0.0 < self.max_premise_coverage <= 1.0:
+            raise ValueError("max_premise_coverage must lie in (0, 1]")
+        if not 0.0 < self.max_pinned_coverage <= 1.0:
+            raise ValueError("max_pinned_coverage must lie in (0, 1]")
+
+
+class RuleGenerator:
+    """Draws random natural rules over a schema."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        config: Optional[RuleGenerationConfig] = None,
+    ):
+        self.schema = schema
+        self.config = config or RuleGenerationConfig()
+        if len(schema) < 2:
+            raise ValueError("rule generation needs at least two attributes")
+
+    # -- atom construction -----------------------------------------------------
+
+    def _interior_constant(
+        self,
+        attribute: Attribute,
+        rng: random.Random,
+        fraction_low: float = 0.1,
+        fraction_high: float = 0.9,
+    ):
+        """A constant strictly inside the domain, drawn from the given
+        span-fraction window (so ordering atoms stay satisfiable on both
+        sides and their selectivity can be controlled)."""
+        domain = attribute.domain
+        fraction = rng.uniform(fraction_low, fraction_high)
+        if isinstance(domain, NumericDomain):
+            if domain.integer:
+                low, high = int(domain.low), int(domain.high)
+                if high - low < 2:
+                    return None
+                return min(max(low + 1, round(low + fraction * (high - low))), high - 1)
+            span = domain.high - domain.low
+            if span <= 0:
+                return None
+            return domain.low + min(max(fraction, 0.05), 0.95) * span
+        if isinstance(domain, DateDomain):
+            low, high = domain.start.toordinal(), domain.end.toordinal()
+            if high - low < 2:
+                return None
+            ordinal = min(max(low + 1, round(low + fraction * (high - low))), high - 1)
+            return domain.from_number(float(ordinal))
+        return None
+
+    def _random_propositional(
+        self, attribute: Attribute, rng: random.Random, *, selective: bool
+    ) -> Optional[Atom]:
+        """A random constant/null atom over *attribute*.
+
+        With ``selective=True`` (premises) only atoms that hold on a
+        *minority* of records are drawn: ``Eq`` for nominals, interval
+        atoms for ordered kinds, ``isnull``. Unselective premises
+        (``A ≠ v``, ``isnotnull``) fire on almost every record, turning
+        their rules into near-global constraints whose interactions the
+        paper's pairwise naturalness check cannot bound — real domain
+        dependencies (``BRV = 404 → GBM = 901``) are selective.
+        """
+        cfg = self.config
+        if attribute.nullable and rng.random() < cfg.null_atom_probability:
+            if selective:
+                return IsNull(attribute.name)
+            return IsNull(attribute.name) if rng.random() < 0.5 else IsNotNull(attribute.name)
+        domain = attribute.domain
+        if isinstance(domain, NominalDomain):
+            value = domain.sample_uniform(rng)
+            # disequality consequences are weak dependencies (they exclude a
+            # single value); keep them rare so the rule count reflects
+            # structural strength, as the naturalness machinery intends
+            if not selective and domain.size > 1 and rng.random() < 0.1:
+                return Ne(attribute.name, value)
+            return Eq(attribute.name, value)
+        if rng.random() < 0.5:
+            bounds = (0.05, 0.3) if selective else (0.1, 0.9)
+            constant = self._interior_constant(attribute, rng, *bounds)
+            return None if constant is None else Lt(attribute.name, constant)
+        bounds = (0.7, 0.95) if selective else (0.1, 0.9)
+        constant = self._interior_constant(attribute, rng, *bounds)
+        if constant is None:
+            return None
+        if not selective and rng.random() < 0.05:
+            return Ne(attribute.name, constant)
+        return Gt(attribute.name, constant)
+
+    def _random_relational(
+        self, attribute: Attribute, pool: Sequence[Attribute], rng: random.Random
+    ) -> Optional[Atom]:
+        partners = [
+            other
+            for other in pool
+            if other.name != attribute.name
+            and other.kind is attribute.kind
+            and self._relatable(attribute, other)
+        ]
+        if not partners:
+            return None
+        partner = partners[rng.randrange(len(partners))]
+        if attribute.kind.is_ordered:
+            roll = rng.random()
+            if roll < 0.35:
+                return LtAttr(attribute.name, partner.name)
+            if roll < 0.7:
+                return GtAttr(attribute.name, partner.name)
+            if roll < 0.85:
+                return EqAttr(attribute.name, partner.name)
+            return NeAttr(attribute.name, partner.name)
+        if rng.random() < 0.7:
+            return EqAttr(attribute.name, partner.name)
+        return NeAttr(attribute.name, partner.name)
+
+    @staticmethod
+    def _relatable(first: Attribute, second: Attribute) -> bool:
+        """Whether a relational atom between the two attributes is
+        non-degenerate. Nominal pairs need overlapping domains — with
+        disjoint domains ``A = B`` is unsatisfiable and ``A ≠ B`` is true
+        on every non-null record (an unselective pseudo-premise)."""
+        if not isinstance(first.domain, NominalDomain):
+            return True
+        return bool(set(first.domain.values) & set(second.domain.values))  # type: ignore[attr-defined]
+
+    def _random_atom(
+        self, pool: Sequence[Attribute], rng: random.Random, *, selective: bool
+    ) -> Optional[Atom]:
+        attribute = pool[rng.randrange(len(pool))]
+        if not selective and rng.random() < self.config.relational_probability:
+            # relational atoms hold on large record fractions, so they only
+            # appear in consequences; premises stay selective
+            atom = self._random_relational(attribute, pool, rng)
+            if atom is not None:
+                return atom
+        return self._random_propositional(attribute, rng, selective=selective)
+
+    def _random_side(
+        self,
+        pool: Sequence[Attribute],
+        max_atoms: int,
+        rng: random.Random,
+        *,
+        selective: bool,
+        min_atoms: int = 1,
+    ) -> Optional[Formula]:
+        count = rng.randint(min_atoms, max(min_atoms, max_atoms))
+        atoms: list[Atom] = []
+        for _ in range(count):
+            atom = self._random_atom(pool, rng, selective=selective)
+            if atom is not None and atom not in atoms:
+                atoms.append(atom)
+        if not atoms:
+            return None
+        if len(atoms) == 1:
+            return atoms[0]
+        if rng.random() < self.config.disjunction_probability:
+            return disjoin(atoms)
+        return conjoin(atoms)
+
+    # -- premise coverage estimation ---------------------------------------------
+
+    def _atom_coverage(self, atom: Atom) -> float:
+        """Estimated fraction of records satisfying *atom* under
+        independent uniform value assignments (a heuristic — the actual
+        start distributions are shaped, but the estimate separates
+        selective premises from near-global ones reliably)."""
+        if isinstance(atom, (IsNull,)):
+            return 0.05
+        if isinstance(atom, (IsNotNull,)):
+            return 0.95
+        if isinstance(atom, (EqAttr,)):
+            left = self.schema.attribute(atom.left).domain
+            if isinstance(left, NominalDomain):
+                return 1.0 / max(left.size, 2)
+            return 0.05
+        if isinstance(atom, (NeAttr,)):
+            return 0.9
+        if isinstance(atom, (LtAttr, GtAttr)):
+            return 0.5
+        attribute = self.schema.attribute(atom.attribute)  # type: ignore[attr-defined]
+        domain = attribute.domain
+        if isinstance(domain, NominalDomain):
+            share = 1.0 / domain.size
+            return share if isinstance(atom, Eq) else 1.0 - share
+        low, high = _ordered_bounds(domain)
+        span = max(high - low, 1e-9)
+        value = domain.to_number(atom.value)  # type: ignore[attr-defined]
+        if isinstance(atom, Lt):
+            return max(0.0, min(1.0, (value - low) / span))
+        if isinstance(atom, Gt):
+            return max(0.0, min(1.0, (high - value) / span))
+        if isinstance(atom, Eq):
+            return 0.01
+        return 0.99  # Ne on an ordered attribute
+
+    def _formula_coverage(self, formula: Formula) -> float:
+        if isinstance(formula, Atom):
+            return self._atom_coverage(formula)
+        from repro.logic.formulas import And, Or
+
+        if isinstance(formula, And):
+            product = 1.0
+            for part in formula.parts:
+                product *= self._formula_coverage(part)
+            return product
+        if isinstance(formula, Or):
+            return min(1.0, sum(self._formula_coverage(p) for p in formula.parts))
+        raise TypeError(f"not a TDG-formula: {type(formula).__name__}")
+
+    # -- rule construction -------------------------------------------------------
+
+    def random_rule(self, rng: random.Random) -> Optional[Rule]:
+        """One candidate rule (not yet checked for naturalness)."""
+        attributes = list(self.schema.attributes)
+        premise = self._random_side(
+            attributes,
+            self.config.max_premise_atoms,
+            rng,
+            selective=True,
+            min_atoms=self.config.min_premise_atoms,
+        )
+        if premise is None:
+            return None
+        if self._formula_coverage(premise) > self.config.max_premise_coverage:
+            return None
+        remaining = [a for a in attributes if a.name not in premise.attributes()]
+        if not remaining:
+            return None
+        consequence = self._random_side(
+            remaining, self.config.max_consequence_atoms, rng, selective=False
+        )
+        if consequence is None:
+            return None
+        return Rule(premise, consequence)
+
+    def _pinned_values(self, formula: Formula) -> list[tuple[str, str]]:
+        """(attribute, value) pairs a conjunctive consequence forces."""
+        from repro.logic.formulas import And
+
+        if isinstance(formula, Eq):
+            return [(formula.attribute, str(formula.value))]
+        if isinstance(formula, And):
+            pins: list[tuple[str, str]] = []
+            for part in formula.parts:
+                if isinstance(part, Eq):
+                    pins.append((part.attribute, str(part.value)))
+            return pins
+        return []
+
+    def generate(self, n_rules: int, rng: random.Random) -> list[Rule]:
+        """Generate up to *n_rules* rules forming a natural rule set.
+
+        Stops early (returning fewer rules) when
+        ``max_attempts_per_rule`` consecutive candidates fail the
+        naturalness checks — on very small schemas the space of natural
+        rule sets is quickly exhausted.
+        """
+        accepted: list[Rule] = []
+        pinned_coverage: dict[tuple[str, str], float] = {}
+        while len(accepted) < n_rules:
+            found = False
+            for _ in range(self.config.max_attempts_per_rule):
+                candidate = self.random_rule(rng)
+                if candidate is None:
+                    continue
+                coverage = self._formula_coverage(candidate.premise)
+                pins = self._pinned_values(candidate.consequence)
+                if any(
+                    pinned_coverage.get(pin, 0.0) + coverage
+                    > self.config.max_pinned_coverage
+                    for pin in pins
+                ):
+                    continue
+                if not is_natural_rule(candidate, self.schema):
+                    continue
+                if not can_extend_rule_set(accepted, candidate, self.schema):
+                    continue
+                if self.config.enforce_cofire_consistency and not all(
+                    rule_pair_cofire_consistent(existing, candidate, self.schema)
+                    for existing in accepted
+                ):
+                    continue
+                accepted.append(candidate)
+                for pin in pins:
+                    pinned_coverage[pin] = pinned_coverage.get(pin, 0.0) + coverage
+                found = True
+                break
+            if not found:
+                break
+        return accepted
+
+
+def _ordered_bounds(domain) -> tuple[float, float]:
+    """Numeric-view bounds of an ordered domain."""
+    if isinstance(domain, NumericDomain):
+        return float(domain.low), float(domain.high)
+    if isinstance(domain, DateDomain):
+        return float(domain.start.toordinal()), float(domain.end.toordinal())
+    raise TypeError(f"not an ordered domain: {type(domain).__name__}")
+
+
+def generate_natural_rule_set(
+    schema: Schema,
+    n_rules: int,
+    rng: random.Random,
+    config: Optional[RuleGenerationConfig] = None,
+) -> list[Rule]:
+    """Convenience wrapper: a natural rule set of (up to) *n_rules* rules."""
+    return RuleGenerator(schema, config).generate(n_rules, rng)

@@ -1,0 +1,91 @@
+"""TDG logic: the test-data-generator formula language of paper sec. 4.1.
+
+Atomic formulas (Def. 1), conjunction/disjunction (Def. 2), rules (Def. 3),
+TDG-negation (Table 1), DNF, the pragmatic satisfiability test with range
+and link propagation (sec. 4.1.3), implication, and the naturalness
+restrictions (Defs. 4–6).
+"""
+
+from repro.logic.atoms import (
+    Atom,
+    Eq,
+    EqAttr,
+    Gt,
+    GtAttr,
+    IsNotNull,
+    IsNull,
+    Lt,
+    LtAttr,
+    Ne,
+    NeAttr,
+    PropositionalAtom,
+    RelationalAtom,
+)
+from repro.logic.base import Formula
+from repro.logic.dnf import DnfExplosionError, to_dnf
+from repro.logic.formulas import And, Or, conjoin, disjoin, iter_atoms
+from repro.logic.implication import equivalent, implies, is_tautology
+from repro.logic.natural import (
+    can_extend_rule_set,
+    is_natural_formula,
+    is_natural_rule,
+    is_natural_rule_set,
+    rule_pair_is_natural,
+)
+from repro.logic.negation import negate
+from repro.logic.parse import ParseError, parse_formula, parse_rule, parse_rules
+from repro.logic.ranges import NominalRange, OrderedRange, range_of_domain
+from repro.logic.rules import Rule
+from repro.logic.satisfiability import (
+    ConjunctionState,
+    find_conjunction_model,
+    find_model,
+    is_conjunction_satisfiable,
+    is_satisfiable,
+)
+
+__all__ = [
+    "Formula",
+    "Atom",
+    "PropositionalAtom",
+    "RelationalAtom",
+    "Eq",
+    "Ne",
+    "Lt",
+    "Gt",
+    "IsNull",
+    "IsNotNull",
+    "EqAttr",
+    "NeAttr",
+    "LtAttr",
+    "GtAttr",
+    "And",
+    "Or",
+    "conjoin",
+    "disjoin",
+    "iter_atoms",
+    "negate",
+    "to_dnf",
+    "DnfExplosionError",
+    "NominalRange",
+    "OrderedRange",
+    "range_of_domain",
+    "ConjunctionState",
+    "is_satisfiable",
+    "is_conjunction_satisfiable",
+    "find_model",
+    "find_conjunction_model",
+    "implies",
+    "is_tautology",
+    "equivalent",
+    "Rule",
+    "ParseError",
+    "parse_formula",
+    "parse_rule",
+    "parse_rules",
+    "is_natural_formula",
+    "is_natural_rule",
+    "rule_pair_is_natural",
+    "can_extend_rule_set",
+    "is_natural_rule_set",
+]

@@ -1,0 +1,307 @@
+"""Atomic TDG-formulae (paper Def. 1).
+
+Two families:
+
+* **propositional** atoms compare an attribute with a constant or test for
+  null: ``A = a``, ``A ≠ a``, ``N < n``, ``N > n``, ``A isnull``,
+  ``A isnotnull``;
+* **relational** atoms compare two attributes: ``A = B``, ``A ≠ B``,
+  ``N < M``, ``N > M``.
+
+Ordering atoms are defined for *ordered* attribute kinds (numeric and
+date). All atoms except the null tests are false on null operands.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Mapping
+
+from repro.logic.base import Formula
+from repro.schema.schema import Schema
+from repro.schema.types import AttributeKind, Value
+
+__all__ = [
+    "Atom",
+    "PropositionalAtom",
+    "RelationalAtom",
+    "Eq",
+    "Ne",
+    "Lt",
+    "Gt",
+    "IsNull",
+    "IsNotNull",
+    "EqAttr",
+    "NeAttr",
+    "LtAttr",
+    "GtAttr",
+]
+
+
+def _format_constant(value: Value) -> str:
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    return repr(value) if isinstance(value, str) else str(value)
+
+
+class Atom(Formula):
+    """Base class of atomic TDG-formulae."""
+
+    __slots__ = ()
+
+    @property
+    def is_atomic(self) -> bool:
+        return True
+
+
+class PropositionalAtom(Atom):
+    """An atom mentioning a single attribute."""
+
+    __slots__ = ("attribute",)
+
+    def __init__(self, attribute: str):
+        if not isinstance(attribute, str) or not attribute:
+            raise ValueError("attribute name must be a non-empty string")
+        self.attribute = attribute
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset((self.attribute,))
+
+
+class _ConstantComparison(PropositionalAtom):
+    """Shared machinery for ``A op constant`` atoms."""
+
+    __slots__ = ("value",)
+
+    #: printable operator symbol; set by subclasses
+    symbol: str = "?"
+    #: whether the constant comparison needs an ordered attribute kind
+    requires_order: bool = False
+
+    def __init__(self, attribute: str, value: Value):
+        super().__init__(attribute)
+        if value is None:
+            raise ValueError(
+                f"{type(self).__name__} does not accept null constants; use IsNull/IsNotNull"
+            )
+        self.value = value
+
+    def validate(self, schema: Schema) -> None:
+        attr = schema.attribute(self.attribute)
+        if self.requires_order and not attr.kind.is_ordered:
+            raise ValueError(
+                f"ordering atom {self} needs a numeric or date attribute, "
+                f"but {attr.name!r} is {attr.kind.value}"
+            )
+        if not attr.domain.contains(self.value):
+            raise ValueError(
+                f"constant {self.value!r} is outside the domain of {attr.name!r}"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is type(self)
+            and other.attribute == self.attribute  # type: ignore[attr-defined]
+            and other.value == self.value  # type: ignore[attr-defined]
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.attribute, self.value))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.attribute!r}, {self.value!r})"
+
+    def __str__(self) -> str:
+        return f"{self.attribute} {self.symbol} {_format_constant(self.value)}"
+
+
+class Eq(_ConstantComparison):
+    """``A = a`` — true iff the attribute is non-null and equals the constant."""
+
+    __slots__ = ()
+    symbol = "="
+
+    def evaluate(self, record: Mapping[str, Value]) -> bool:
+        value = record[self.attribute]
+        return value is not None and value == self.value
+
+
+class Ne(_ConstantComparison):
+    """``A ≠ a`` — true iff the attribute is non-null and differs from the constant."""
+
+    __slots__ = ()
+    symbol = "≠"
+
+    def evaluate(self, record: Mapping[str, Value]) -> bool:
+        value = record[self.attribute]
+        return value is not None and value != self.value
+
+
+class Lt(_ConstantComparison):
+    """``N < n`` — true iff the (ordered) attribute is non-null and below the constant."""
+
+    __slots__ = ()
+    symbol = "<"
+    requires_order = True
+
+    def evaluate(self, record: Mapping[str, Value]) -> bool:
+        value = record[self.attribute]
+        return value is not None and value < self.value  # type: ignore[operator]
+
+
+class Gt(_ConstantComparison):
+    """``N > n`` — true iff the (ordered) attribute is non-null and above the constant."""
+
+    __slots__ = ()
+    symbol = ">"
+    requires_order = True
+
+    def evaluate(self, record: Mapping[str, Value]) -> bool:
+        value = record[self.attribute]
+        return value is not None and value > self.value  # type: ignore[operator]
+
+
+class IsNull(PropositionalAtom):
+    """``A isnull`` — true iff the attribute is null."""
+
+    __slots__ = ()
+
+    def evaluate(self, record: Mapping[str, Value]) -> bool:
+        return record[self.attribute] is None
+
+    def validate(self, schema: Schema) -> None:
+        schema.attribute(self.attribute)
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is IsNull and other.attribute == self.attribute
+
+    def __hash__(self) -> int:
+        return hash(("IsNull", self.attribute))
+
+    def __repr__(self) -> str:
+        return f"IsNull({self.attribute!r})"
+
+    def __str__(self) -> str:
+        return f"{self.attribute} isnull"
+
+
+class IsNotNull(PropositionalAtom):
+    """``A isnotnull`` — true iff the attribute is non-null."""
+
+    __slots__ = ()
+
+    def evaluate(self, record: Mapping[str, Value]) -> bool:
+        return record[self.attribute] is not None
+
+    def validate(self, schema: Schema) -> None:
+        schema.attribute(self.attribute)
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is IsNotNull and other.attribute == self.attribute
+
+    def __hash__(self) -> int:
+        return hash(("IsNotNull", self.attribute))
+
+    def __repr__(self) -> str:
+        return f"IsNotNull({self.attribute!r})"
+
+    def __str__(self) -> str:
+        return f"{self.attribute} isnotnull"
+
+
+class RelationalAtom(Atom):
+    """An atom comparing two attributes."""
+
+    __slots__ = ("left", "right")
+
+    symbol: str = "?"
+    requires_order: bool = False
+
+    def __init__(self, left: str, right: str):
+        if not left or not right:
+            raise ValueError("attribute names must be non-empty")
+        if left == right:
+            raise ValueError(
+                f"relational atom compares an attribute with itself: {left!r}"
+            )
+        self.left = left
+        self.right = right
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset((self.left, self.right))
+
+    def validate(self, schema: Schema) -> None:
+        left = schema.attribute(self.left)
+        right = schema.attribute(self.right)
+        if left.kind is not right.kind:
+            raise ValueError(
+                f"relational atom {self} compares incompatible kinds "
+                f"({left.kind.value} vs {right.kind.value})"
+            )
+        if self.requires_order and not left.kind.is_ordered:
+            raise ValueError(
+                f"ordering atom {self} needs numeric or date attributes, "
+                f"but they are {left.kind.value}"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is type(self)
+            and other.left == self.left  # type: ignore[attr-defined]
+            and other.right == self.right  # type: ignore[attr-defined]
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.left!r}, {self.right!r})"
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.symbol} {self.right}"
+
+
+class EqAttr(RelationalAtom):
+    """``A = B`` — true iff both attributes are non-null and equal."""
+
+    __slots__ = ()
+    symbol = "="
+
+    def evaluate(self, record: Mapping[str, Value]) -> bool:
+        a, b = record[self.left], record[self.right]
+        return a is not None and b is not None and a == b
+
+
+class NeAttr(RelationalAtom):
+    """``A ≠ B`` — true iff both attributes are non-null and different."""
+
+    __slots__ = ()
+    symbol = "≠"
+
+    def evaluate(self, record: Mapping[str, Value]) -> bool:
+        a, b = record[self.left], record[self.right]
+        return a is not None and b is not None and a != b
+
+
+class LtAttr(RelationalAtom):
+    """``N < M`` — true iff both ordered attributes are non-null and N < M."""
+
+    __slots__ = ()
+    symbol = "<"
+    requires_order = True
+
+    def evaluate(self, record: Mapping[str, Value]) -> bool:
+        a, b = record[self.left], record[self.right]
+        return a is not None and b is not None and a < b  # type: ignore[operator]
+
+
+class GtAttr(RelationalAtom):
+    """``N > M`` — true iff both ordered attributes are non-null and N > M."""
+
+    __slots__ = ()
+    symbol = ">"
+    requires_order = True
+
+    def evaluate(self, record: Mapping[str, Value]) -> bool:
+        a, b = record[self.left], record[self.right]
+        return a is not None and b is not None and a > b  # type: ignore[operator]

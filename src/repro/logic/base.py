@@ -1,0 +1,57 @@
+"""Abstract base class of TDG-formulae.
+
+The test-data-generator logic (paper sec. 4.1.1) defines *TDG-formulae*
+inductively: atomic formulas (Def. 1) closed under finite conjunction and
+disjunction (Def. 2). There is deliberately **no negation connective**; the
+paper instead associates a *TDG-negation* ``α̃`` with every formula
+(Table 1, implemented in :mod:`repro.logic.negation`).
+
+Evaluation semantics on records with nulls: every atom except ``isnull`` /
+``isnotnull`` evaluates to *false* when an operand is null. (This is forced
+by Table 1, e.g. the negation of ``A = a`` is ``A ≠ a ∨ A isnull``.)
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Mapping
+
+from repro.schema.types import Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.schema.schema import Schema
+
+__all__ = ["Formula"]
+
+
+class Formula(ABC):
+    """A TDG-formula (atomic, conjunction, or disjunction)."""
+
+    __slots__ = ()
+
+    @abstractmethod
+    def evaluate(self, record: Mapping[str, Value]) -> bool:
+        """Evaluate this formula on a record (mapping attribute → value)."""
+
+    @abstractmethod
+    def attributes(self) -> frozenset[str]:
+        """The set of attribute names occurring in this formula."""
+
+    @abstractmethod
+    def validate(self, schema: "Schema") -> None:
+        """Raise ``ValueError`` if this formula is ill-typed for *schema*.
+
+        Checks attribute existence, operand kinds (ordering atoms need
+        ordered attributes, Def. 1 restricts ``<``/``>`` to numerical
+        attributes — we additionally admit dates), and that constants lie
+        in the attribute's domain.
+        """
+
+    @property
+    def is_atomic(self) -> bool:
+        """Whether this formula is an atomic TDG-formula."""
+        return False
+
+    # Formulas are immutable value objects; concrete classes implement
+    # __eq__ / __hash__ over their fields so rule generators can
+    # deduplicate and tests can compare structurally.

@@ -1,0 +1,77 @@
+"""Disjunctive normal form of TDG-formulae.
+
+The pragmatic satisfiability test (sec. 4.1.3) first transforms the
+formula into DNF; the formula is satisfiable iff some disjunct is. A
+disjunct is represented as a tuple of atoms (an implicit conjunction).
+
+TDG-formulae are negation-free, so the usual distribution laws suffice.
+DNF can blow up exponentially; the rule generator caps formula complexity,
+and :func:`to_dnf` enforces a configurable safety limit on the number of
+disjuncts.
+"""
+
+from __future__ import annotations
+
+from repro.logic.atoms import Atom
+from repro.logic.base import Formula
+from repro.logic.formulas import And, Or
+
+__all__ = ["to_dnf", "DnfExplosionError"]
+
+#: Default limit on the number of DNF disjuncts.
+DEFAULT_MAX_DISJUNCTS = 4096
+
+
+class DnfExplosionError(RuntimeError):
+    """Raised when DNF conversion would exceed the disjunct limit."""
+
+
+def to_dnf(formula: Formula, *, max_disjuncts: int = DEFAULT_MAX_DISJUNCTS) -> list[tuple[Atom, ...]]:
+    """Convert *formula* to DNF: a list of conjunctions of atoms.
+
+    Each returned tuple has duplicate atoms removed (order preserved);
+    duplicate disjuncts are removed as well.
+    """
+    disjuncts = _convert(formula, max_disjuncts)
+    result: list[tuple[Atom, ...]] = []
+    seen: set[frozenset[Atom]] = set()
+    for conj in disjuncts:
+        deduped: list[Atom] = []
+        inner_seen: set[Atom] = set()
+        for atom in conj:
+            if atom not in inner_seen:
+                inner_seen.add(atom)
+                deduped.append(atom)
+        key = frozenset(deduped)
+        if key not in seen:
+            seen.add(key)
+            result.append(tuple(deduped))
+    return result
+
+
+def _convert(formula: Formula, max_disjuncts: int) -> list[tuple[Atom, ...]]:
+    if isinstance(formula, Atom):
+        return [(formula,)]
+    if isinstance(formula, Or):
+        out: list[tuple[Atom, ...]] = []
+        for part in formula.parts:
+            out.extend(_convert(part, max_disjuncts))
+            if len(out) > max_disjuncts:
+                raise DnfExplosionError(
+                    f"DNF exceeds {max_disjuncts} disjuncts; simplify the formula"
+                )
+        return out
+    if isinstance(formula, And):
+        # cross product of the parts' DNFs
+        product: list[tuple[Atom, ...]] = [()]
+        for part in formula.parts:
+            part_dnf = _convert(part, max_disjuncts)
+            product = [
+                existing + candidate for existing in product for candidate in part_dnf
+            ]
+            if len(product) > max_disjuncts:
+                raise DnfExplosionError(
+                    f"DNF exceeds {max_disjuncts} disjuncts; simplify the formula"
+                )
+        return product
+    raise TypeError(f"cannot convert {type(formula).__name__} to DNF")

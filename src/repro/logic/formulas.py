@@ -1,0 +1,132 @@
+"""Composite TDG-formulae: finite conjunctions and disjunctions (Def. 2).
+
+Constructors normalize the shape so downstream code (DNF, naturalness
+checks) sees a canonical structure:
+
+* nested connectives of the same type are flattened
+  (``And(And(a, b), c)`` → ``And(a, b, c)``),
+* exact duplicate parts are removed (keeping first occurrence),
+* a connective with a single remaining part is *not* created —
+  use :func:`conjoin` / :func:`disjoin`, which unwrap it.
+
+The paper's Def. 2 allows n-ary connectives for any ``n ∈ ℕ``; requiring
+``n ≥ 2`` at the class level loses no generality and avoids degenerate
+trees.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.logic.base import Formula
+from repro.schema.schema import Schema
+from repro.schema.types import Value
+
+__all__ = ["And", "Or", "conjoin", "disjoin", "iter_atoms"]
+
+
+def _normalize(parts: Iterable[Formula], connective: type) -> tuple[Formula, ...]:
+    flat: list[Formula] = []
+    seen: set[Formula] = set()
+    for part in parts:
+        if not isinstance(part, Formula):
+            raise TypeError(f"formula parts must be Formula, got {type(part).__name__}")
+        subparts = part.parts if isinstance(part, connective) else (part,)
+        for sub in subparts:
+            if sub not in seen:
+                seen.add(sub)
+                flat.append(sub)
+    return tuple(flat)
+
+
+class _Connective(Formula):
+    """Shared machinery of :class:`And` / :class:`Or`."""
+
+    __slots__ = ("parts",)
+
+    symbol: str = "?"
+
+    def __init__(self, *parts: Formula):
+        if len(parts) == 1 and not isinstance(parts[0], Formula):
+            # allow passing a single iterable: And([a, b, c])
+            parts = tuple(parts[0])  # type: ignore[arg-type]
+        normalized = _normalize(parts, type(self))
+        if len(normalized) < 2:
+            raise ValueError(
+                f"{type(self).__name__} needs at least two distinct parts after "
+                f"normalization; use conjoin()/disjoin() for the general case"
+            )
+        self.parts: tuple[Formula, ...] = normalized
+
+    def attributes(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for part in self.parts:
+            result |= part.attributes()
+        return result
+
+    def validate(self, schema: Schema) -> None:
+        for part in self.parts:
+            part.validate(schema)
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and other.parts == self.parts  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.parts))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(map(repr, self.parts))
+        return f"{type(self).__name__}({inner})"
+
+    def __str__(self) -> str:
+        inner = f" {self.symbol} ".join(map(str, self.parts))
+        return f"({inner})"
+
+
+class And(_Connective):
+    """Conjunction ``α₁ ∧ … ∧ αₙ`` (n ≥ 2 after normalization)."""
+
+    __slots__ = ()
+    symbol = "∧"
+
+    def evaluate(self, record: Mapping[str, Value]) -> bool:
+        return all(part.evaluate(record) for part in self.parts)
+
+
+class Or(_Connective):
+    """Disjunction ``α₁ ∨ … ∨ αₙ`` (n ≥ 2 after normalization)."""
+
+    __slots__ = ()
+    symbol = "∨"
+
+    def evaluate(self, record: Mapping[str, Value]) -> bool:
+        return any(part.evaluate(record) for part in self.parts)
+
+
+def conjoin(parts: Sequence[Formula]) -> Formula:
+    """Conjunction of *parts*, unwrapping the single-part case."""
+    normalized = _normalize(parts, And)
+    if not normalized:
+        raise ValueError("cannot conjoin zero formulas")
+    if len(normalized) == 1:
+        return normalized[0]
+    return And(*normalized)
+
+
+def disjoin(parts: Sequence[Formula]) -> Formula:
+    """Disjunction of *parts*, unwrapping the single-part case."""
+    normalized = _normalize(parts, Or)
+    if not normalized:
+        raise ValueError("cannot disjoin zero formulas")
+    if len(normalized) == 1:
+        return normalized[0]
+    return Or(*normalized)
+
+
+def iter_atoms(formula: Formula):
+    """Yield every atomic subformula of *formula* (depth-first, with repeats)."""
+    if formula.is_atomic:
+        yield formula
+        return
+    for part in formula.parts:  # type: ignore[attr-defined]
+        yield from iter_atoms(part)

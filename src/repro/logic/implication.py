@@ -1,0 +1,37 @@
+"""Implication, tautology, and equivalence tests for TDG-formulae.
+
+Sec. 4.1.3: *"In ordinary propositional logic the validity of the sentence
+α ⇒ β is equivalent to the unsatisfiability of α ∧ ¬β. As we did not
+include negation […] we can instead associate a TDG-formula α̃ to a
+TDG-formula α, so that α is true iff α̃ is false."* Validity of ``α → β``
+thus reduces to unsatisfiability of ``α ∧ β̃``.
+
+All verdicts inherit the pragmatic nature of the satisfiability test: a
+positive ``implies`` answer is always correct (it rests on a correct UNSAT
+verdict); a negative answer may, in rare pathological cases, be wrong.
+"""
+
+from __future__ import annotations
+
+from repro.logic.base import Formula
+from repro.logic.formulas import conjoin
+from repro.logic.negation import negate
+from repro.logic.satisfiability import is_satisfiable
+from repro.schema.schema import Schema
+
+__all__ = ["implies", "is_tautology", "equivalent"]
+
+
+def implies(alpha: Formula, beta: Formula, schema: Schema) -> bool:
+    """Return ``True`` iff ``α ⇒ β`` (i.e. ``α ∧ β̃`` is unsatisfiable)."""
+    return not is_satisfiable(conjoin([alpha, negate(beta)]), schema)
+
+
+def is_tautology(formula: Formula, schema: Schema) -> bool:
+    """Return ``True`` iff *formula* holds on every record (``α̃`` unsatisfiable)."""
+    return not is_satisfiable(negate(formula), schema)
+
+
+def equivalent(alpha: Formula, beta: Formula, schema: Schema) -> bool:
+    """Return ``True`` iff the formulas imply each other."""
+    return implies(alpha, beta, schema) and implies(beta, alpha, schema)

@@ -1,0 +1,152 @@
+"""Naturalness restrictions on TDG-formulae and rule sets (Defs. 4–6).
+
+Randomly constructed rules can be contradictory or tautological (sec.
+4.1.2 shows ``A = v₁ → A = v₂``, ``A = v₁ ∧ A = v₂ → B = v₁`` and
+``A = v₁ → A ≠ v₂`` as counterexamples). If the number of generated rules
+is supposed to reflect the *structural strength* of the data, such
+degenerate rules must be excluded. The paper adds three layers of semantic
+restrictions, implemented here:
+
+* **Natural TDG-formula** (Def. 4): atoms must be satisfiable under the
+  schema's domains; in a conjunction no conjunct may be implied by the
+  others and the whole must be satisfiable; in a disjunction no disjunct
+  may be implied by the disjunction of the others.
+* **Natural TDG-rule** (Def. 5): both sides natural, ``α ∧ β`` satisfiable
+  (no contradiction), and ``α ⇏ β`` (no tautological rule).
+* **Natural rule set** (Def. 6): a *pairwise* check — whenever one
+  premise implies another (``αⱼ ⇒ αᵢ``), the combined consequences must be
+  jointly satisfiable with the stronger premise (``αⱼ ∧ βᵢ ∧ βⱼ`` SAT) and
+  the new rule must add a genuine dependency (``(αⱼ ∧ βᵢ) ⇏ βⱼ``). The
+  paper deliberately avoids the full entailment check ``R ⊭ R`` as too
+  expensive; so do we.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.logic.base import Formula
+from repro.logic.formulas import And, Or, conjoin, disjoin
+from repro.logic.implication import implies
+from repro.logic.negation import negate
+from repro.logic.rules import Rule
+from repro.logic.satisfiability import is_satisfiable
+from repro.schema.schema import Schema
+
+__all__ = [
+    "is_natural_formula",
+    "is_natural_rule",
+    "rule_pair_is_natural",
+    "rule_pair_cofire_consistent",
+    "can_extend_rule_set",
+    "is_natural_rule_set",
+]
+
+
+def is_natural_formula(formula: Formula, schema: Schema) -> bool:
+    """Def. 4: is *formula* a natural TDG-formula under *schema*?"""
+    if formula.is_atomic:
+        return is_satisfiable(formula, schema)
+    if isinstance(formula, And):
+        if not all(is_natural_formula(part, schema) for part in formula.parts):
+            return False
+        if not is_satisfiable(formula, schema):
+            return False
+        for i, part in enumerate(formula.parts):
+            others = [p for j, p in enumerate(formula.parts) if j != i]
+            rest = conjoin(others)
+            if implies(rest, part, schema):
+                return False
+        return True
+    if isinstance(formula, Or):
+        if not all(is_natural_formula(part, schema) for part in formula.parts):
+            return False
+        for i, part in enumerate(formula.parts):
+            others = [p for j, p in enumerate(formula.parts) if j != i]
+            rest = disjoin(others)
+            if implies(rest, part, schema):
+                return False
+        return True
+    raise TypeError(f"not a TDG-formula: {type(formula).__name__}")
+
+
+def is_natural_rule(rule: Rule, schema: Schema) -> bool:
+    """Def. 5: is ``α → β`` a natural TDG-rule under *schema*?"""
+    if not is_natural_formula(rule.premise, schema):
+        return False
+    if not is_natural_formula(rule.consequence, schema):
+        return False
+    if not is_satisfiable(conjoin([rule.premise, rule.consequence]), schema):
+        return False
+    if implies(rule.premise, rule.consequence, schema):
+        return False
+    return True
+
+
+def rule_pair_is_natural(rule_i: Rule, rule_j: Rule, schema: Schema) -> bool:
+    """Def. 6's pairwise condition, checked in both premise directions.
+
+    For each direction with ``α_j ⇒ α_i`` it requires
+
+    * ``α_j ∧ β_i ∧ β_j`` satisfiable (no hidden contradiction), and
+    * ``(α_j ∧ β_i) ⇏ β_j`` (the rule introduces a new dependency).
+    """
+    for stronger, weaker in ((rule_j, rule_i), (rule_i, rule_j)):
+        if implies(stronger.premise, weaker.premise, schema):
+            combined = conjoin(
+                [stronger.premise, weaker.consequence, stronger.consequence]
+            )
+            if not is_satisfiable(combined, schema):
+                return False
+            context = conjoin([stronger.premise, weaker.consequence])
+            if implies(context, stronger.consequence, schema):
+                return False
+    return True
+
+
+def rule_pair_cofire_consistent(rule_i: Rule, rule_j: Rule, schema: Schema) -> bool:
+    """A strengthening of Def. 6 used by the rule *generator*.
+
+    Def. 6 only constrains rule pairs whose premises are comparable
+    (``α_j ⇒ α_i``). Two rules with incomparable premises can still fire
+    on the same record with contradictory consequences (e.g.
+    ``A = a → C = x`` and ``B = b → C = y``); the paper acknowledges that
+    its pairwise check does not exclude mutually contradictory sets. Such
+    pairs make the rule-repairing data generator thrash, so candidate
+    rules additionally satisfy: whenever both premises can hold together,
+    both consequences must be jointly satisfiable with them.
+    """
+    both_premises = conjoin([rule_i.premise, rule_j.premise])
+    if not is_satisfiable(both_premises, schema):
+        return True
+    combined = conjoin(
+        [rule_i.premise, rule_j.premise, rule_i.consequence, rule_j.consequence]
+    )
+    return is_satisfiable(combined, schema)
+
+
+def can_extend_rule_set(rules: Sequence[Rule], candidate: Rule, schema: Schema) -> bool:
+    """May *candidate* be added to the natural rule set *rules*?
+
+    Assumes *candidate* is itself a natural rule; checks the Def. 6
+    pairwise condition against every existing rule and rejects exact
+    duplicates.
+    """
+    if candidate in rules:
+        return False
+    return all(rule_pair_is_natural(existing, candidate, schema) for existing in rules)
+
+
+def is_natural_rule_set(rules: Iterable[Rule], schema: Schema) -> bool:
+    """Def. 6: is *rules* a natural rule set under *schema*?"""
+    rule_list = list(rules)
+    if len(set(rule_list)) != len(rule_list):
+        return False
+    for rule in rule_list:
+        if not is_natural_rule(rule, schema):
+            return False
+    for i, rule_i in enumerate(rule_list):
+        for rule_j in rule_list[i + 1 :]:
+            if not rule_pair_is_natural(rule_i, rule_j, schema):
+                return False
+    return True

@@ -1,0 +1,100 @@
+"""TDG-negation (paper Table 1).
+
+The TDG grammar has no negation connective. Instead, every TDG-formula
+``α`` has an associated TDG-formula ``α̃`` such that ``α`` is true iff
+``α̃`` is false — with explicit null handling:
+
+====================  =========================================
+``α``                 ``α̃``
+====================  =========================================
+``A = a``             ``A ≠ a ∨ A isnull``
+``A ≠ a``             ``A = a ∨ A isnull``
+``A < a``             ``A > a ∨ A = a ∨ A isnull``
+``A > a``             ``A < a ∨ A = a ∨ A isnull``
+``A isnull``          ``A isnotnull``
+``A isnotnull``       ``A isnull``
+``A = B``             ``A ≠ B ∨ A isnull ∨ B isnull``
+``A ≠ B``             ``A = B ∨ A isnull ∨ B isnull``
+``A < B``             ``A > B ∨ A = B ∨ A isnull ∨ B isnull``
+``A > B``             ``A < B ∨ A = B ∨ A isnull ∨ B isnull``
+``α₁ ∧ … ∧ αₙ``       ``α̃₁ ∨ … ∨ α̃ₙ``
+``α₁ ∨ … ∨ αₙ``       ``α̃₁ ∧ … ∧ α̃ₙ``
+====================  =========================================
+
+This reduces validity of ``α → β`` to unsatisfiability of ``α ∧ β̃``
+(sec. 4.1.3), which the pragmatic satisfiability test decides.
+"""
+
+from __future__ import annotations
+
+from repro.logic.atoms import (
+    Eq,
+    EqAttr,
+    Gt,
+    GtAttr,
+    IsNotNull,
+    IsNull,
+    Lt,
+    LtAttr,
+    Ne,
+    NeAttr,
+)
+from repro.logic.base import Formula
+from repro.logic.formulas import And, Or, conjoin, disjoin
+
+__all__ = ["negate"]
+
+
+def negate(formula: Formula) -> Formula:
+    """Return the TDG-negation ``α̃`` of *formula* per Table 1."""
+    if isinstance(formula, Eq):
+        return Or(Ne(formula.attribute, formula.value), IsNull(formula.attribute))
+    if isinstance(formula, Ne):
+        return Or(Eq(formula.attribute, formula.value), IsNull(formula.attribute))
+    if isinstance(formula, Lt):
+        return Or(
+            Gt(formula.attribute, formula.value),
+            Eq(formula.attribute, formula.value),
+            IsNull(formula.attribute),
+        )
+    if isinstance(formula, Gt):
+        return Or(
+            Lt(formula.attribute, formula.value),
+            Eq(formula.attribute, formula.value),
+            IsNull(formula.attribute),
+        )
+    if isinstance(formula, IsNull):
+        return IsNotNull(formula.attribute)
+    if isinstance(formula, IsNotNull):
+        return IsNull(formula.attribute)
+    if isinstance(formula, EqAttr):
+        return Or(
+            NeAttr(formula.left, formula.right),
+            IsNull(formula.left),
+            IsNull(formula.right),
+        )
+    if isinstance(formula, NeAttr):
+        return Or(
+            EqAttr(formula.left, formula.right),
+            IsNull(formula.left),
+            IsNull(formula.right),
+        )
+    if isinstance(formula, LtAttr):
+        return Or(
+            GtAttr(formula.left, formula.right),
+            EqAttr(formula.left, formula.right),
+            IsNull(formula.left),
+            IsNull(formula.right),
+        )
+    if isinstance(formula, GtAttr):
+        return Or(
+            LtAttr(formula.left, formula.right),
+            EqAttr(formula.left, formula.right),
+            IsNull(formula.left),
+            IsNull(formula.right),
+        )
+    if isinstance(formula, And):
+        return disjoin([negate(part) for part in formula.parts])
+    if isinstance(formula, Or):
+        return conjoin([negate(part) for part in formula.parts])
+    raise TypeError(f"cannot TDG-negate {type(formula).__name__}")

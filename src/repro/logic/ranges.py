@@ -1,0 +1,297 @@
+"""Current domain ranges for the pragmatic satisfiability test.
+
+Sec. 4.1.3: *"The main idea of the procedure is to initialize the current
+domain ranges of every attribute defined in the schema for the target table
+with their domain ranges and then successively restrict them by integrating
+the constraints of each atomic TDG-formula in the conjunction."*
+
+Two range representations cover the three attribute kinds:
+
+* :class:`NominalRange` — a shrinking set of admissible nominal values;
+* :class:`OrderedRange` — an interval with strict/non-strict bounds and
+  point exclusions over the attribute's *numeric view* (floats for numeric
+  attributes, day ordinals for dates, integer-constrained where the
+  underlying domain is discrete).
+
+Both support restriction operations, intersection (for ``A = B`` equality
+classes), emptiness / singleton tests, and sampling — sampling is what the
+data generator's rule-repair step (sec. 4.1.4) uses to pick values that
+satisfy a consequence.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import AbstractSet, Iterable, Optional
+
+from repro.schema.domain import DateDomain, Domain, NominalDomain, NumericDomain
+
+__all__ = ["NominalRange", "OrderedRange", "range_of_domain"]
+
+#: Spans up to this size are enumerated exactly when exclusions make
+#: rejection sampling unreliable.
+_ENUMERATION_LIMIT = 8192
+
+
+class NominalRange:
+    """A shrinking set of admissible values of a nominal attribute."""
+
+    __slots__ = ("allowed",)
+
+    def __init__(self, allowed: Iterable[str]):
+        self.allowed: set[str] = set(allowed)
+
+    def copy(self) -> "NominalRange":
+        return NominalRange(self.allowed)
+
+    # -- restriction -----------------------------------------------------
+
+    def restrict_eq(self, value: str) -> None:
+        """Integrate ``A = value``."""
+        if value in self.allowed:
+            self.allowed = {value}
+        else:
+            self.allowed = set()
+
+    def restrict_ne(self, value: str) -> None:
+        """Integrate ``A ≠ value``."""
+        self.allowed.discard(value)
+
+    def intersect(self, other: "NominalRange") -> None:
+        """Integrate an equality link with another nominal attribute."""
+        self.allowed &= other.allowed
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.allowed
+
+    def singleton(self) -> Optional[str]:
+        """The unique admissible value, if exactly one remains."""
+        if len(self.allowed) == 1:
+            return next(iter(self.allowed))
+        return None
+
+    def contains(self, value: str) -> bool:
+        return value in self.allowed
+
+    def sample(
+        self, rng: random.Random, forbidden: AbstractSet[str] = frozenset()
+    ) -> Optional[str]:
+        """Draw a uniform value avoiding *forbidden*; ``None`` if impossible."""
+        candidates = sorted(self.allowed - forbidden)
+        if not candidates:
+            return None
+        return candidates[rng.randrange(len(candidates))]
+
+    def __repr__(self) -> str:
+        return f"NominalRange({sorted(self.allowed)!r})"
+
+
+class OrderedRange:
+    """An interval with point exclusions over the numeric view.
+
+    ``integer=True`` means only integers in the interval are admissible
+    (integer numeric domains and date ordinals); bounds are normalized to
+    closed integer bounds eagerly in that case, so strictness flags stay
+    ``False`` after every mutation.
+    """
+
+    __slots__ = ("low", "high", "low_strict", "high_strict", "excluded", "integer")
+
+    def __init__(
+        self,
+        low: float,
+        high: float,
+        *,
+        low_strict: bool = False,
+        high_strict: bool = False,
+        integer: bool = False,
+    ):
+        self.low = float(low)
+        self.high = float(high)
+        self.low_strict = low_strict
+        self.high_strict = high_strict
+        self.excluded: set[float] = set()
+        self.integer = integer
+        self._normalize()
+
+    def copy(self) -> "OrderedRange":
+        dup = OrderedRange(
+            self.low,
+            self.high,
+            low_strict=self.low_strict,
+            high_strict=self.high_strict,
+            integer=self.integer,
+        )
+        dup.excluded = set(self.excluded)
+        return dup
+
+    def _normalize(self) -> None:
+        """Canonicalize bounds.
+
+        Integer ranges get closed integral bounds, and bounds are advanced
+        past *excluded* boundary values — this matters for the ordering-link
+        propagation of the satisfiability test: ``N < M`` must see the
+        tightest attainable bounds of its endpoints. Float ranges absorb an
+        excluded value sitting exactly on a non-strict bound into bound
+        strictness.
+        """
+        if not self.integer:
+            if self.low in self.excluded:
+                self.low_strict = True
+            if self.high in self.excluded:
+                self.high_strict = True
+            return
+        low = math.ceil(self.low)
+        if self.low_strict and low == self.low:
+            low += 1
+        high = math.floor(self.high)
+        if self.high_strict and high == self.high:
+            high -= 1
+        if self.excluded:
+            while low <= high and float(low) in self.excluded:
+                low += 1
+            while low <= high and float(high) in self.excluded:
+                high -= 1
+        self.low, self.high = float(low), float(high)
+        self.low_strict = self.high_strict = False
+
+    # -- restriction ------------------------------------------------------
+
+    def restrict_eq(self, value: float) -> None:
+        """Integrate ``N = value``."""
+        self.restrict_lower(value, strict=False)
+        self.restrict_upper(value, strict=False)
+
+    def restrict_ne(self, value: float) -> None:
+        """Integrate ``N ≠ value``."""
+        self.excluded.add(float(value))
+        self._normalize()
+
+    def restrict_upper(self, value: float, *, strict: bool) -> None:
+        """Integrate ``N < value`` (strict) or ``N ≤ value``."""
+        value = float(value)
+        if value < self.high or (value == self.high and strict and not self.high_strict):
+            self.high = value
+            self.high_strict = strict
+            self._normalize()
+
+    def restrict_lower(self, value: float, *, strict: bool) -> None:
+        """Integrate ``N > value`` (strict) or ``N ≥ value``."""
+        value = float(value)
+        if value > self.low or (value == self.low and strict and not self.low_strict):
+            self.low = value
+            self.low_strict = strict
+            self._normalize()
+
+    def intersect(self, other: "OrderedRange") -> None:
+        """Integrate an equality link with another ordered attribute."""
+        self.restrict_lower(other.low, strict=other.low_strict)
+        self.restrict_upper(other.high, strict=other.high_strict)
+        self.excluded |= other.excluded
+        self.integer = self.integer or other.integer
+        self._normalize()
+
+    # -- queries -------------------------------------------------------------
+
+    def _int_span(self) -> tuple[int, int]:
+        return int(self.low), int(self.high)
+
+    @property
+    def is_empty(self) -> bool:
+        if self.low > self.high:
+            return True
+        if self.low == self.high:
+            if self.low_strict or self.high_strict:
+                return True
+            return self.low in self.excluded
+        if self.integer:
+            lo, hi = self._int_span()
+            if lo > hi:
+                return True
+            span = hi - lo + 1
+            if self.excluded and span <= max(len(self.excluded) * 2, 64):
+                return all(float(v) in self.excluded for v in range(lo, hi + 1))
+        return False
+
+    def singleton(self) -> Optional[float]:
+        """The unique admissible value, if the range pins one down."""
+        if self.is_empty:
+            return None
+        if self.low == self.high and not (self.low_strict or self.high_strict):
+            return self.low
+        if self.integer:
+            lo, hi = self._int_span()
+            candidates = [float(v) for v in range(lo, min(hi, lo + 64) + 1) if float(v) not in self.excluded]
+            if hi - lo <= 64 and len(candidates) == 1:
+                return candidates[0]
+        return None
+
+    def contains(self, value: float) -> bool:
+        value = float(value)
+        if value in self.excluded:
+            return False
+        if self.integer and value != int(value):
+            return False
+        if value < self.low or (value == self.low and self.low_strict):
+            return False
+        if value > self.high or (value == self.high and self.high_strict):
+            return False
+        return True
+
+    def sample(
+        self, rng: random.Random, forbidden: AbstractSet[float] = frozenset()
+    ) -> Optional[float]:
+        """Draw an admissible value avoiding *forbidden*; ``None`` if impossible."""
+        if self.is_empty:
+            return None
+        blocked = self.excluded | set(forbidden)
+        if self.integer:
+            lo, hi = self._int_span()
+            span = hi - lo + 1
+            if span <= 0:
+                return None
+            if blocked and span <= _ENUMERATION_LIMIT:
+                candidates = [v for v in range(lo, hi + 1) if float(v) not in blocked]
+                if not candidates:
+                    return None
+                return float(candidates[rng.randrange(len(candidates))])
+            for _ in range(64):
+                value = float(rng.randint(lo, hi))
+                if value not in blocked:
+                    return value
+            return None
+        if self.low == self.high:
+            return None if self.low in blocked else self.low
+        for _ in range(64):
+            value = rng.uniform(self.low, self.high)
+            if value == self.low and self.low_strict:
+                continue
+            if value == self.high and self.high_strict:
+                continue
+            if value not in blocked:
+                return value
+        return None
+
+    def __repr__(self) -> str:
+        lo = "(" if self.low_strict else "["
+        hi = ")" if self.high_strict else "]"
+        tag = ", int" if self.integer else ""
+        exc = f", excl={sorted(self.excluded)}" if self.excluded else ""
+        return f"OrderedRange{lo}{self.low}, {self.high}{hi}{tag}{exc}"
+
+
+def range_of_domain(domain: Domain):
+    """Initial current range of an attribute, from its declared domain."""
+    if isinstance(domain, NominalDomain):
+        return NominalRange(domain.values)
+    if isinstance(domain, NumericDomain):
+        return OrderedRange(domain.low, domain.high, integer=domain.integer)
+    if isinstance(domain, DateDomain):
+        return OrderedRange(
+            domain.start.toordinal(), domain.end.toordinal(), integer=True
+        )
+    raise TypeError(f"unsupported domain type: {type(domain).__name__}")

@@ -1,0 +1,65 @@
+"""TDG-rules: implications between TDG-formulae (Def. 3)."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.logic.base import Formula
+from repro.schema.schema import Schema
+from repro.schema.types import Value
+
+__all__ = ["Rule"]
+
+
+class Rule:
+    """A TDG-rule ``α → β`` between two TDG-formulae.
+
+    A record *violates* the rule when the premise holds but the
+    consequence does not; records on which the premise is false satisfy
+    the rule vacuously.
+    """
+
+    __slots__ = ("premise", "consequence")
+
+    def __init__(self, premise: Formula, consequence: Formula):
+        if not isinstance(premise, Formula) or not isinstance(consequence, Formula):
+            raise TypeError("premise and consequence must be TDG-formulae")
+        self.premise = premise
+        self.consequence = consequence
+
+    def applicable(self, record: Mapping[str, Value]) -> bool:
+        """Whether the premise holds on *record*."""
+        return self.premise.evaluate(record)
+
+    def satisfied_by(self, record: Mapping[str, Value]) -> bool:
+        """Material implication on *record*."""
+        return not self.premise.evaluate(record) or self.consequence.evaluate(record)
+
+    def violated_by(self, record: Mapping[str, Value]) -> bool:
+        """Premise true, consequence false."""
+        return self.premise.evaluate(record) and not self.consequence.evaluate(record)
+
+    def attributes(self) -> frozenset[str]:
+        """All attribute names occurring in the rule."""
+        return self.premise.attributes() | self.consequence.attributes()
+
+    def validate(self, schema: Schema) -> None:
+        """Type-check both sides against *schema*."""
+        self.premise.validate(schema)
+        self.consequence.validate(schema)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Rule)
+            and other.premise == self.premise
+            and other.consequence == self.consequence
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.premise, self.consequence))
+
+    def __repr__(self) -> str:
+        return f"Rule({self.premise!r}, {self.consequence!r})"
+
+    def __str__(self) -> str:
+        return f"{self.premise} → {self.consequence}"

@@ -1,0 +1,510 @@
+"""Pragmatic satisfiability test and model finding for TDG-formulae.
+
+Implements sec. 4.1.3 of the paper:
+
+1. transform the formula into DNF;
+2. the formula is satisfiable iff one disjunct (a conjunction of atoms) is;
+3. decide a conjunction by initializing the *current domain range* of every
+   attribute from the schema and successively restricting it with each
+   atom's constraint. Relational atoms instantiate **links** between
+   attributes; the transitive nature of ``<``, ``>``, ``=`` is honoured by
+   union-find equality classes and bound propagation along the strict
+   ordering edges (a strict cycle is unsatisfiable).
+
+The test is *pragmatic* exactly as in the paper: a reported UNSAT is always
+correct, but in rare cases (e.g. pigeonhole-style disequality patterns) a
+formula may be believed satisfiable although it is not. Model *finding*
+(:meth:`ConjunctionState.solve`) verifies candidate assignments against the
+atoms, so a returned model is always a true model.
+
+The same machinery powers the data generator's rule repair (sec. 4.1.4):
+``find_model(β, base=record)`` produces an assignment satisfying a violated
+consequence while changing as few attributes of the record as possible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.logic.atoms import (
+    Atom,
+    Eq,
+    EqAttr,
+    Gt,
+    GtAttr,
+    IsNotNull,
+    IsNull,
+    Lt,
+    LtAttr,
+    Ne,
+    NeAttr,
+)
+from repro.logic.base import Formula
+from repro.logic.dnf import to_dnf
+from repro.logic.ranges import NominalRange, OrderedRange, range_of_domain
+from repro.schema.domain import NominalDomain
+from repro.schema.schema import Schema
+from repro.schema.types import Value
+
+__all__ = [
+    "Conflict",
+    "ConjunctionState",
+    "is_conjunction_satisfiable",
+    "is_satisfiable",
+    "find_model",
+    "find_conjunction_model",
+]
+
+
+class Conflict(Exception):
+    """Internal signal: the conjunction restricts some attribute to ∅."""
+
+
+class ConjunctionState:
+    """Range/link state for one conjunction of atomic TDG-formulae.
+
+    Build with :meth:`integrate`, then call :meth:`check` (pure
+    satisfiability) or :meth:`solve` (model construction).
+    """
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self._parent: dict[str, str] = {}
+        self._ranges: dict[str, object] = {}  # root attr -> NominalRange | OrderedRange
+        self._must_null: set[str] = set()
+        self._not_null: set[str] = set()
+        self._lt_edges: list[tuple[str, str]] = []  # (a, b) meaning a < b, strict
+        self._diseq: list[tuple[str, str]] = []
+        self._touched: set[str] = set()
+
+    # -- union-find --------------------------------------------------------
+
+    def _find(self, attr: str) -> str:
+        parent = self._parent
+        if attr not in parent:
+            parent[attr] = attr
+            self._ranges[attr] = range_of_domain(self.schema.attribute(attr).domain)
+            self._touched.add(attr)
+            return attr
+        root = attr
+        while parent[root] != root:
+            root = parent[root]
+        while parent[attr] != root:
+            parent[attr], attr = root, parent[attr]
+        return root
+
+    def _union(self, a: str, b: str) -> None:
+        ra, rb = self._find(a), self._find(b)
+        if ra == rb:
+            return
+        range_a, range_b = self._ranges[ra], self._ranges[rb]
+        if isinstance(range_a, NominalRange) != isinstance(range_b, NominalRange):
+            raise Conflict(f"equality link between incompatible kinds: {a} = {b}")
+        range_a.intersect(range_b)  # type: ignore[arg-type]
+        self._parent[rb] = ra
+        del self._ranges[rb]
+        if range_a.is_empty:
+            raise Conflict(f"empty range for equality class of {a!r}")
+
+    def _range(self, attr: str):
+        return self._ranges[self._find(attr)]
+
+    def members(self, attr: str) -> list[str]:
+        """All attributes in *attr*'s equality class (incl. itself)."""
+        root = self._find(attr)
+        return [a for a in self._touched if self._find(a) == root]
+
+    # -- constraint integration ----------------------------------------------
+
+    def _numeric(self, attr: str, value: Value) -> float:
+        return self.schema.attribute(attr).domain.to_number(value)
+
+    def _require_value(self, attr: str) -> None:
+        """Mark that *attr* must carry a (non-null) value."""
+        self._find(attr)
+        self._not_null.add(attr)
+
+    def integrate(self, atom: Atom) -> None:
+        """Restrict the state by one atomic constraint (raises Conflict)."""
+        atom.validate(self.schema)
+        if isinstance(atom, IsNull):
+            attribute = self.schema.attribute(atom.attribute)
+            if not attribute.nullable:
+                raise Conflict(f"{atom}: attribute is not nullable")
+            self._find(atom.attribute)
+            self._must_null.add(atom.attribute)
+        elif isinstance(atom, IsNotNull):
+            self._require_value(atom.attribute)
+        elif isinstance(atom, Eq):
+            self._require_value(atom.attribute)
+            current = self._range(atom.attribute)
+            if isinstance(current, NominalRange):
+                current.restrict_eq(atom.value)  # type: ignore[arg-type]
+            else:
+                current.restrict_eq(self._numeric(atom.attribute, atom.value))
+            if current.is_empty:
+                raise Conflict(f"{atom}: empty range")
+        elif isinstance(atom, Ne):
+            self._require_value(atom.attribute)
+            current = self._range(atom.attribute)
+            if isinstance(current, NominalRange):
+                current.restrict_ne(atom.value)  # type: ignore[arg-type]
+            else:
+                current.restrict_ne(self._numeric(atom.attribute, atom.value))
+            if current.is_empty:
+                raise Conflict(f"{atom}: empty range")
+        elif isinstance(atom, Lt):
+            self._require_value(atom.attribute)
+            current = self._range(atom.attribute)
+            current.restrict_upper(self._numeric(atom.attribute, atom.value), strict=True)
+            if current.is_empty:
+                raise Conflict(f"{atom}: empty range")
+        elif isinstance(atom, Gt):
+            self._require_value(atom.attribute)
+            current = self._range(atom.attribute)
+            current.restrict_lower(self._numeric(atom.attribute, atom.value), strict=True)
+            if current.is_empty:
+                raise Conflict(f"{atom}: empty range")
+        elif isinstance(atom, EqAttr):
+            self._require_value(atom.left)
+            self._require_value(atom.right)
+            self._union(atom.left, atom.right)
+        elif isinstance(atom, NeAttr):
+            self._require_value(atom.left)
+            self._require_value(atom.right)
+            self._diseq.append((atom.left, atom.right))
+        elif isinstance(atom, LtAttr):
+            self._require_value(atom.left)
+            self._require_value(atom.right)
+            self._lt_edges.append((atom.left, atom.right))
+        elif isinstance(atom, GtAttr):
+            self._require_value(atom.left)
+            self._require_value(atom.right)
+            self._lt_edges.append((atom.right, atom.left))
+        else:  # pragma: no cover - grammar is closed
+            raise TypeError(f"unknown atom type: {type(atom).__name__}")
+
+    def integrate_all(self, atoms: Iterable[Atom]) -> None:
+        for atom in atoms:
+            self.integrate(atom)
+
+    # -- propagation ------------------------------------------------------------
+
+    def _class_edges(self) -> list[tuple[str, str]]:
+        edges = []
+        for a, b in self._lt_edges:
+            ra, rb = self._find(a), self._find(b)
+            if ra == rb:
+                raise Conflict(f"strict ordering inside an equality class: {a} < {b}")
+            edges.append((ra, rb))
+        return edges
+
+    def _topological_order(self, edges: Sequence[tuple[str, str]]) -> list[str]:
+        nodes = set(self._ranges)
+        indegree = {node: 0 for node in nodes}
+        successors: dict[str, list[str]] = {node: [] for node in nodes}
+        for u, v in edges:
+            successors[u].append(v)
+            indegree[v] += 1
+        queue = sorted(node for node, deg in indegree.items() if deg == 0)
+        order: list[str] = []
+        while queue:
+            node = queue.pop()
+            order.append(node)
+            for succ in successors[node]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    queue.append(succ)
+        if len(order) != len(nodes):
+            raise Conflict("cycle of strict ordering links")
+        return order
+
+    def propagate(self) -> list[str]:
+        """Propagate null flags, ordering bounds, and disequalities.
+
+        Returns the topological order of equality classes (used by
+        :meth:`solve`). Raises :class:`Conflict` on unsatisfiability.
+        """
+        conflicting_null = self._must_null & self._not_null
+        if conflicting_null:
+            raise Conflict(
+                f"attributes both null and value-constrained: {sorted(conflicting_null)}"
+            )
+        edges = self._class_edges()
+        order = self._topological_order(edges)
+        successors: dict[str, list[str]] = {}
+        predecessors: dict[str, list[str]] = {}
+        for u, v in edges:
+            successors.setdefault(u, []).append(v)
+            predecessors.setdefault(v, []).append(u)
+        # forward pass: push lower bounds along u < v
+        for node in order:
+            rng_u = self._ranges[node]
+            for succ in successors.get(node, ()):
+                rng_v = self._ranges[succ]
+                rng_v.restrict_lower(rng_u.low, strict=True)  # type: ignore[union-attr]
+        # backward pass: pull upper bounds against u < v
+        for node in reversed(order):
+            rng_v = self._ranges[node]
+            for pred in predecessors.get(node, ()):
+                rng_u = self._ranges[pred]
+                rng_u.restrict_upper(rng_v.high, strict=True)  # type: ignore[union-attr]
+        for root, current in self._ranges.items():
+            if all(member in self._must_null for member in self.members(root)):
+                continue  # value range irrelevant: every member is forced null
+            if current.is_empty:
+                raise Conflict(f"empty range for equality class of {root!r}")
+        # disequalities between pinned classes
+        for a, b in self._diseq:
+            ra, rb = self._find(a), self._find(b)
+            if ra == rb:
+                raise Conflict(f"disequality inside an equality class: {a} ≠ {b}")
+            single_a = self._ranges[ra].singleton()
+            single_b = self._ranges[rb].singleton()
+            if single_a is not None and single_a == single_b:
+                raise Conflict(f"{a} ≠ {b} but both are pinned to {single_a!r}")
+        return order
+
+    def check(self) -> bool:
+        """Pure satisfiability verdict for the integrated conjunction."""
+        try:
+            self.propagate()
+        except Conflict:
+            return False
+        return True
+
+    # -- model construction --------------------------------------------------
+
+    def solve(
+        self,
+        rng: random.Random,
+        base: Optional[Mapping[str, Value]] = None,
+        *,
+        max_attempts: int = 8,
+    ) -> Optional[dict[str, Value]]:
+        """Construct an assignment for all touched attributes.
+
+        With *base* given, attribute values from the base record are kept
+        whenever they are consistent with the propagated ranges (minimal
+        change, used by rule repair). Returns ``None`` when no model is
+        found within *max_attempts* randomized tries.
+        """
+        try:
+            order = self.propagate()
+        except Conflict:
+            return None
+        edges = self._class_edges()
+        predecessors: dict[str, list[str]] = {}
+        for u, v in edges:
+            predecessors.setdefault(v, []).append(u)
+        diseq_by_root: dict[str, list[str]] = {}
+        for a, b in self._diseq:
+            ra, rb = self._find(a), self._find(b)
+            diseq_by_root.setdefault(ra, []).append(rb)
+            diseq_by_root.setdefault(rb, []).append(ra)
+
+        for _ in range(max_attempts):
+            assignment = self._attempt(rng, base, order, predecessors, diseq_by_root)
+            if assignment is not None:
+                return assignment
+        return None
+
+    def _attempt(
+        self,
+        rng: random.Random,
+        base: Optional[Mapping[str, Value]],
+        order: Sequence[str],
+        predecessors: Mapping[str, Sequence[str]],
+        diseq_by_root: Mapping[str, Sequence[str]],
+    ) -> Optional[dict[str, Value]]:
+        class_value: dict[str, object] = {}  # root -> numeric view or nominal str
+        assignment: dict[str, Value] = {}
+        for attr in self._must_null:
+            assignment[attr] = None
+        for root in order:
+            members = [m for m in self.members(root) if m not in self._must_null]
+            if not members:
+                continue
+            current = self._ranges[root]
+            if isinstance(current, NominalRange):
+                forbidden = {
+                    class_value[other]
+                    for other in diseq_by_root.get(root, ())
+                    if other in class_value
+                }
+                value = self._pick_nominal(rng, current, members, base, forbidden)
+                if value is None:
+                    return None
+                class_value[root] = value
+                for member in members:
+                    assignment[member] = value
+            else:
+                feasible = current.copy()
+                for pred in predecessors.get(root, ()):
+                    if pred in class_value:
+                        feasible.restrict_lower(float(class_value[pred]), strict=True)
+                forbidden = {
+                    float(class_value[other])
+                    for other in diseq_by_root.get(root, ())
+                    if other in class_value
+                }
+                number = self._pick_number(rng, feasible, members, base, forbidden)
+                if number is None:
+                    return None
+                class_value[root] = number
+                for member in members:
+                    domain = self.schema.attribute(member).domain
+                    assignment[member] = domain.from_number(number)
+        if self._verify(assignment):
+            return assignment
+        return None
+
+    def _pick_nominal(
+        self,
+        rng: random.Random,
+        current: NominalRange,
+        members: Sequence[str],
+        base: Optional[Mapping[str, Value]],
+        forbidden: set,
+    ) -> Optional[str]:
+        if base is not None:
+            for member in members:
+                candidate = base.get(member)
+                if (
+                    isinstance(candidate, str)
+                    and current.contains(candidate)
+                    and candidate not in forbidden
+                ):
+                    return candidate
+        return current.sample(rng, forbidden)
+
+    def _pick_number(
+        self,
+        rng: random.Random,
+        feasible: OrderedRange,
+        members: Sequence[str],
+        base: Optional[Mapping[str, Value]],
+        forbidden: set,
+    ) -> Optional[float]:
+        if base is not None:
+            for member in members:
+                candidate = base.get(member)
+                if candidate is None:
+                    continue
+                try:
+                    number = self.schema.attribute(member).domain.to_number(candidate)
+                except (TypeError, AttributeError):
+                    continue
+                if feasible.contains(number) and number not in forbidden:
+                    return number
+        return feasible.sample(rng, forbidden)
+
+    def _verify(self, assignment: Mapping[str, Value]) -> bool:
+        """Check the candidate assignment against every integrated atom."""
+        record = dict(assignment)
+        for attr in self._touched:
+            record.setdefault(attr, None)
+        return all(atom.evaluate(record) for atom in self._atoms_for_verification())
+
+    def _atoms_for_verification(self) -> list[Atom]:
+        atoms: list[Atom] = []
+        for attr in self._must_null:
+            atoms.append(IsNull(attr))
+        for attr in self._not_null:
+            atoms.append(IsNotNull(attr))
+        for a, b in self._lt_edges:
+            atoms.append(LtAttr(a, b))
+        for a, b in self._diseq:
+            atoms.append(NeAttr(a, b))
+        for attr in self._touched:
+            if attr in self._must_null:
+                continue
+            root = self._find(attr)
+            # range membership is checked indirectly: values were sampled
+            # from the propagated ranges, and equality classes share one value
+            for other in self.members(root):
+                if other != attr and other not in self._must_null:
+                    atoms.append(EqAttr(attr, other))
+        return atoms
+
+
+def _build_state(atoms: Iterable[Atom], schema: Schema) -> Optional[ConjunctionState]:
+    state = ConjunctionState(schema)
+    try:
+        state.integrate_all(atoms)
+    except Conflict:
+        return None
+    return state
+
+
+def is_conjunction_satisfiable(atoms: Sequence[Atom], schema: Schema) -> bool:
+    """Pragmatic satisfiability of a conjunction of atoms."""
+    state = _build_state(atoms, schema)
+    return state is not None and state.check()
+
+
+def is_satisfiable(formula: Formula, schema: Schema) -> bool:
+    """Pragmatic satisfiability of an arbitrary TDG-formula (via DNF)."""
+    return any(
+        is_conjunction_satisfiable(conjunct, schema) for conjunct in to_dnf(formula)
+    )
+
+
+def find_conjunction_model(
+    atoms: Sequence[Atom],
+    schema: Schema,
+    rng: random.Random,
+    base: Optional[Mapping[str, Value]] = None,
+) -> Optional[dict[str, Value]]:
+    """Find an assignment satisfying a conjunction of atoms (or ``None``)."""
+    state = _build_state(atoms, schema)
+    if state is None:
+        return None
+    return state.solve(rng, base)
+
+
+def _changes_needed(conjunct: Sequence[Atom], base: Mapping[str, Value]) -> int:
+    """How many atoms of *conjunct* the base record currently falsifies."""
+    return sum(0 if atom.evaluate(base) else 1 for atom in conjunct)
+
+
+def _nulls_introduced(conjunct: Sequence[Atom], base: Mapping[str, Value]) -> int:
+    """How many ``isnull`` atoms of *conjunct* would null a non-null base
+    cell. Used as a tie-breaker so rule repair does not gratuitously erase
+    values (satisfying ``A ≠ v`` is as cheap as nulling ``A`` — but keeps
+    the record informative)."""
+    return sum(
+        1
+        for atom in conjunct
+        if isinstance(atom, IsNull) and base.get(atom.attribute) is not None
+    )
+
+
+def find_model(
+    formula: Formula,
+    schema: Schema,
+    rng: random.Random,
+    base: Optional[Mapping[str, Value]] = None,
+) -> Optional[dict[str, Value]]:
+    """Find an assignment satisfying *formula*.
+
+    With *base*, DNF disjuncts are tried in order of how few of their atoms
+    the base record falsifies, so the returned model tends to change as few
+    attributes as possible — the behaviour the rule-repairing data
+    generator needs.
+    """
+    disjuncts = to_dnf(formula)
+    rng.shuffle(disjuncts)
+    if base is not None:
+        disjuncts.sort(
+            key=lambda conj: (
+                _changes_needed(conj, base),
+                _nulls_introduced(conj, base),
+            )
+        )
+    for conjunct in disjuncts:
+        model = find_conjunction_model(conjunct, schema, rng, base)
+        if model is not None:
+            return model
+    return None

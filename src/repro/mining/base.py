@@ -1,0 +1,87 @@
+"""The classifier interface of the multiple classification / regression
+approach.
+
+Sec. 5: *"For each attribute in the relation to be audited, a classifier
+is induced that describes the dependency of this class attribute from the
+other attributes."* And sec. 5.2: *"the error confidence measure can be
+used with each classifier that both outputs a predicted class distribution
+and the number of training instances this prediction is based on."*
+
+:class:`Prediction` is exactly that pair (distribution, support);
+:class:`AttributeClassifier` is the pluggable strategy the auditor
+composes — the tree-based production classifier and the alternatives the
+paper evaluated (instance-based, naive Bayes, rule inducers) all implement
+it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.mining.dataset import Dataset
+from repro.schema.types import Value
+
+__all__ = ["Prediction", "AttributeClassifier"]
+
+
+@dataclass
+class Prediction:
+    """A predicted class distribution plus its training support.
+
+    ``probabilities[c]`` is the predicted probability of class-label code
+    ``c`` (codes index :attr:`labels`); ``n`` is the (possibly weighted)
+    number of training instances the prediction is based on.
+    """
+
+    probabilities: np.ndarray
+    n: float
+    labels: tuple[str, ...]
+
+    @property
+    def predicted_code(self) -> int:
+        """Code of the most probable class (``ĉ``)."""
+        return int(np.argmax(self.probabilities))
+
+    @property
+    def predicted_label(self) -> str:
+        return self.labels[self.predicted_code]
+
+    def probability_of(self, code: int) -> float:
+        return float(self.probabilities[code])
+
+    def __repr__(self) -> str:
+        return (
+            f"Prediction({self.predicted_label!r}, "
+            f"p={self.probability_of(self.predicted_code):.3f}, n={self.n:g})"
+        )
+
+
+class AttributeClassifier(ABC):
+    """A dependency model of one class attribute given base attributes."""
+
+    def __init__(self) -> None:
+        self.dataset: Optional[Dataset] = None
+
+    @abstractmethod
+    def fit(self, dataset: Dataset) -> None:
+        """Induce the dependency model from an encoded dataset."""
+
+    @abstractmethod
+    def predict_encoded(self, encoded: Mapping[str, float]) -> Prediction:
+        """Predict from an already-encoded record (see
+        :meth:`Dataset.encode_record`)."""
+
+    def predict(self, record: Mapping[str, Value]) -> Prediction:
+        """Predict the class distribution for a raw record."""
+        if self.dataset is None:
+            raise RuntimeError(f"{type(self).__name__} is not fitted")
+        return self.predict_encoded(self.dataset.encode_record(record))
+
+    def _require_fitted(self) -> Dataset:
+        if self.dataset is None:
+            raise RuntimeError(f"{type(self).__name__} is not fitted")
+        return self.dataset

@@ -1,0 +1,292 @@
+"""Encoded training data for the mining algorithms.
+
+The classifiers of sec. 5 all consume the same view of a table:
+
+* **base attributes** (the classifier inputs) are encoded per kind —
+  nominal values become small integer codes (with one extra *unknown*
+  code for out-of-domain values produced by pollution, and ``-1`` for
+  null, which the C4.5 machinery treats as a missing value to distribute
+  fractionally), ordered values become floats on the numeric view
+  (``NaN`` for null / unparseable);
+* the **class attribute** is encoded into a finite label set. Nominal
+  classes use their domain values; numeric and date classes are
+  discretized into equal-frequency bins (sec. 5's multiple
+  classification / *regression* approach). Null is a first-class label —
+  the paper's completeness dimension ("substituting an erroneously
+  missing value by the suggestion of a data auditing application") needs
+  the classifier to regard an unexpected null as a deviation, which it
+  can only do if nulls are part of the class vocabulary. A single
+  *unknown* label absorbs out-of-domain class values.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.mining.discretize import EqualFrequencyDiscretizer
+from repro.schema.attribute import Attribute
+from repro.schema.domain import NominalDomain
+from repro.schema.table import Table
+from repro.schema.types import AttributeKind, Value
+
+__all__ = [
+    "NULL_LABEL",
+    "UNKNOWN_LABEL",
+    "BaseEncoder",
+    "ClassEncoder",
+    "Dataset",
+]
+
+#: Class label representing a null class value.
+NULL_LABEL = "<null>"
+#: Class label absorbing out-of-domain class values.
+UNKNOWN_LABEL = "<unknown>"
+
+
+class BaseEncoder:
+    """Encoder of one *base* (input) attribute."""
+
+    def __init__(self, attribute: Attribute):
+        self.attribute = attribute
+        domain = attribute.domain
+        if isinstance(domain, NominalDomain):
+            self.categorical = True
+            self._codes = {value: i for i, value in enumerate(domain.values)}
+            #: code used for non-null values outside the declared domain
+            self.unknown_code = len(domain.values)
+            self.n_categories = len(domain.values) + 1
+        else:
+            self.categorical = False
+            self._codes = {}
+            self.unknown_code = -1
+            self.n_categories = 0
+
+    def encode(self, value: Value) -> float:
+        """Encode one cell; returns an int code (categorical, ``-1`` for
+        missing) or a float (ordered, ``NaN`` for missing/unparseable)."""
+        if self.categorical:
+            if value is None:
+                return -1
+            code = self._codes.get(value)
+            if code is None:
+                return self.unknown_code
+            return code
+        if value is None:
+            return float("nan")
+        try:
+            return float(self.attribute.domain.to_number(value))
+        except (TypeError, AttributeError, ValueError):
+            return float("nan")  # kind-violating cell (e.g. switched column)
+
+    def encode_column(self, values: Sequence[Value]) -> np.ndarray:
+        if self.categorical:
+            return np.asarray([self.encode(v) for v in values], dtype=np.int64)
+        return np.asarray([self.encode(v) for v in values], dtype=np.float64)
+
+    def decode_category(self, code: int) -> Optional[str]:
+        """Nominal value of a category code (None for the unknown code)."""
+        if not self.categorical:
+            raise TypeError("decode_category on an ordered encoder")
+        domain: NominalDomain = self.attribute.domain  # type: ignore[assignment]
+        if 0 <= code < len(domain.values):
+            return domain.values[code]
+        return None
+
+
+class ClassEncoder:
+    """Encoder of the class attribute into a finite label vocabulary."""
+
+    def __init__(
+        self,
+        attribute: Attribute,
+        values: Sequence[Value],
+        *,
+        n_bins: int = 10,
+    ):
+        self.attribute = attribute
+        self.discretizer: Optional[EqualFrequencyDiscretizer] = None
+        if attribute.kind is AttributeKind.NOMINAL:
+            domain: NominalDomain = attribute.domain  # type: ignore[assignment]
+            value_labels = list(domain.values)
+            self._value_to_label = {value: value for value in domain.values}
+        else:
+            numeric_view = [
+                attribute.domain.to_number(v)
+                for v in values
+                if v is not None and _orderable(attribute, v)
+            ]
+            if numeric_view:
+                bins = max(2, min(n_bins, len(set(numeric_view))))
+                self.discretizer = EqualFrequencyDiscretizer(bins).fit(numeric_view)
+                value_labels = [
+                    self.discretizer.bin_label(i)
+                    for i in range(self.discretizer.n_bins)
+                ]
+            else:
+                value_labels = []
+            self._value_to_label = {}
+        self.labels: tuple[str, ...] = tuple(value_labels) + (NULL_LABEL, UNKNOWN_LABEL)
+        self._label_codes = {label: i for i, label in enumerate(self.labels)}
+
+    @property
+    def n_labels(self) -> int:
+        return len(self.labels)
+
+    def index_of_label(self, label: str) -> int:
+        return self._label_codes[label]
+
+    @property
+    def null_code(self) -> int:
+        return self._label_codes[NULL_LABEL]
+
+    @property
+    def unknown_code(self) -> int:
+        return self._label_codes[UNKNOWN_LABEL]
+
+    def label_of(self, value: Value) -> str:
+        """Class label of one observed cell value."""
+        if value is None:
+            return NULL_LABEL
+        if self.attribute.kind is AttributeKind.NOMINAL:
+            return self._value_to_label.get(value, UNKNOWN_LABEL)
+        if self.discretizer is None or not _orderable(self.attribute, value):
+            return UNKNOWN_LABEL
+        number = self.attribute.domain.to_number(value)
+        return self.labels[self.discretizer.transform_value(number)]
+
+    def code_of(self, value: Value) -> int:
+        return self._label_codes[self.label_of(value)]
+
+    def code_of_label(self, label: str) -> int:
+        return self._label_codes[label]
+
+    def encode_column(self, values: Sequence[Value]) -> np.ndarray:
+        return np.asarray([self.code_of(v) for v in values], dtype=np.int64)
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-compatible state (labels + discretizer, no training data)."""
+        return {
+            "labels": list(self.labels),
+            "discretizer": self.discretizer.to_state() if self.discretizer else None,
+        }
+
+    @classmethod
+    def from_state(cls, attribute: Attribute, state: dict) -> "ClassEncoder":
+        """Rebuild an encoder from :meth:`to_state` output (the attribute
+        comes from the separately persisted schema)."""
+        instance = cls.__new__(cls)
+        instance.attribute = attribute
+        discretizer_state = state.get("discretizer")
+        instance.discretizer = (
+            EqualFrequencyDiscretizer.from_state(discretizer_state)
+            if discretizer_state
+            else None
+        )
+        instance.labels = tuple(state["labels"])
+        instance._label_codes = {label: i for i, label in enumerate(instance.labels)}
+        if attribute.kind is AttributeKind.NOMINAL:
+            instance._value_to_label = {
+                value: value for value in attribute.domain.values  # type: ignore[attr-defined]
+            }
+        else:
+            instance._value_to_label = {}
+        return instance
+
+    def proposal_for(self, label: str) -> Value:
+        """The concrete replacement value a predicted label suggests
+        (sec. 5.3): the nominal value itself, the bin representative for
+        discretized classes, or null for the null label."""
+        if label == NULL_LABEL:
+            return None
+        if label == UNKNOWN_LABEL:
+            return None
+        if self.attribute.kind is AttributeKind.NOMINAL:
+            return label
+        assert self.discretizer is not None
+        bin_index = self.labels.index(label)
+        return self.attribute.domain.from_number(self.discretizer.representative(bin_index))
+
+
+def _orderable(attribute: Attribute, value: Value) -> bool:
+    try:
+        attribute.domain.to_number(value)
+        return True
+    except (TypeError, AttributeError, ValueError):
+        return False
+
+
+class Dataset:
+    """One classifier's training view: encoded base columns + class codes.
+
+    All rows are retained — null and out-of-domain class values are
+    legitimate labels (see module docstring), so nothing is silently
+    dropped.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        class_attr: str,
+        base_attrs: Sequence[str],
+        *,
+        n_bins: int = 10,
+    ):
+        schema = table.schema
+        self.class_attr = class_attr
+        self.base_attrs = tuple(base_attrs)
+        if class_attr in self.base_attrs:
+            raise ValueError("class attribute cannot be one of its base attributes")
+        self.encoders: dict[str, BaseEncoder] = {
+            name: BaseEncoder(schema.attribute(name)) for name in self.base_attrs
+        }
+        self.columns: dict[str, np.ndarray] = {
+            name: self.encoders[name].encode_column(table.column(name))
+            for name in self.base_attrs
+        }
+        class_values = table.column(class_attr)
+        self.class_encoder = ClassEncoder(
+            schema.attribute(class_attr), class_values, n_bins=n_bins
+        )
+        self.y: np.ndarray = self.class_encoder.encode_column(class_values)
+        self.n_rows = table.n_rows
+
+    @property
+    def n_labels(self) -> int:
+        return self.class_encoder.n_labels
+
+    def encode_record(self, record: Mapping[str, Value]) -> dict[str, float]:
+        """Encode one record's base attributes for prediction."""
+        return {
+            name: self.encoders[name].encode(record.get(name))
+            for name in self.base_attrs
+        }
+
+    @classmethod
+    def for_prediction(
+        cls,
+        schema,
+        class_attr: str,
+        base_attrs: Sequence[str],
+        class_encoder: ClassEncoder,
+    ) -> "Dataset":
+        """A column-less dataset usable only for prediction.
+
+        The asynchronous auditing workflow (sec. 2.2) persists fitted
+        models and reloads them without the training table; prediction
+        needs the encoders and class vocabulary, not the training columns.
+        """
+        instance = cls.__new__(cls)
+        instance.class_attr = class_attr
+        instance.base_attrs = tuple(base_attrs)
+        instance.encoders = {
+            name: BaseEncoder(schema.attribute(name)) for name in instance.base_attrs
+        }
+        instance.columns = {}
+        instance.class_encoder = class_encoder
+        instance.y = np.empty(0, dtype=np.int64)
+        instance.n_rows = 0
+        return instance

@@ -1,0 +1,105 @@
+"""Instance-based (k-nearest-neighbour) classifier — another sec. 5
+alternative.
+
+Distance is a Gower-style mean over base attributes: 0/1 mismatch for
+nominal codes, span-normalized absolute difference for ordered values, and
+the maximal distance 1 whenever either operand is missing. The support
+``n`` for Def. 7 is ``k`` — a very small sample, which caps the achievable
+error confidence and is one of the reasons instance-based methods lost the
+paper's algorithm selection.
+
+Prediction is O(training size); fit optionally subsamples to
+``max_training`` rows to keep the classifier-selection benchmark tractable
+on large tables.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.mining.base import AttributeClassifier, Prediction
+from repro.mining.dataset import Dataset
+
+__all__ = ["KnnClassifier"]
+
+
+class KnnClassifier(AttributeClassifier):
+    """k-nearest-neighbour classifier over a Gower-style mixed distance."""
+
+    def __init__(
+        self,
+        k: int = 7,
+        *,
+        max_training: Optional[int] = 3000,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        if max_training is not None and max_training < 1:
+            raise ValueError("max_training must be positive")
+        self.k = k
+        self.max_training = max_training
+        self.seed = seed
+        self._columns: dict[str, np.ndarray] = {}
+        self._spans: dict[str, float] = {}
+        self._y: Optional[np.ndarray] = None
+
+    def fit(self, dataset: Dataset) -> None:
+        self.dataset = dataset
+        n = dataset.n_rows
+        if self.max_training is not None and n > self.max_training:
+            rng = random.Random(self.seed)
+            chosen = np.asarray(
+                sorted(rng.sample(range(n), self.max_training)), dtype=np.int64
+            )
+        else:
+            chosen = np.arange(n, dtype=np.int64)
+        self._y = dataset.y[chosen]
+        self._columns = {}
+        self._spans = {}
+        for name in dataset.base_attrs:
+            column = dataset.columns[name][chosen]
+            self._columns[name] = column
+            if not dataset.encoders[name].categorical:
+                known = column[~np.isnan(column)]
+                span = float(known.max() - known.min()) if known.size else 0.0
+                self._spans[name] = span if span > 0 else 1.0
+
+    def predict_encoded(self, encoded: Mapping[str, float]) -> Prediction:
+        dataset = self._require_fitted()
+        assert self._y is not None
+        n_train = self._y.size
+        if n_train == 0:
+            uniform = np.full(dataset.n_labels, 1.0 / dataset.n_labels)
+            return Prediction(uniform, 0.0, dataset.class_encoder.labels)
+        distance = np.zeros(n_train, dtype=float)
+        for name, column in self._columns.items():
+            raw = encoded[name]
+            if dataset.encoders[name].categorical:
+                code = int(raw)
+                if code < 0:
+                    distance += 1.0
+                else:
+                    missing = column < 0
+                    distance += np.where(missing | (column != code), 1.0, 0.0)
+            else:
+                if math.isnan(raw):
+                    distance += 1.0
+                else:
+                    missing = np.isnan(column)
+                    diff = np.abs(column - raw) / self._spans[name]
+                    distance += np.where(missing, 1.0, np.minimum(diff, 1.0))
+        k = min(self.k, n_train)
+        neighbour_idx = np.argpartition(distance, k - 1)[:k]
+        counts = np.bincount(self._y[neighbour_idx], minlength=dataset.n_labels).astype(
+            float
+        )
+        return Prediction(counts / k, float(k), dataset.class_encoder.labels)
+
+    def __repr__(self) -> str:
+        return f"KnnClassifier(k={self.k}, max_training={self.max_training})"

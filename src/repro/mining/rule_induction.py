@@ -1,0 +1,272 @@
+"""Classification-rule inducers — the remaining sec. 5 alternatives.
+
+* :class:`OneRClassifier` — Holte's 1R: the single best attribute,
+  bucketed (nominal codes / equal-frequency bins), predicting each
+  bucket's majority class. A deliberately weak baseline.
+* :class:`PrismClassifier` — Cendrowska's PRISM covering algorithm: for
+  every class, greedily grown conjunctive rules of maximal precision.
+  Representative of the "classification rule inducers" family the paper
+  examined.
+
+Both report the covered-bucket / covered-rule training support as ``n``
+for the error confidence.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.mining.base import AttributeClassifier, Prediction
+from repro.mining.dataset import Dataset
+from repro.mining.discretize import EqualFrequencyDiscretizer
+
+__all__ = ["OneRClassifier", "PrismClassifier", "PrismRule"]
+
+
+class _Bucketizer:
+    """Shared encoding of base attributes into small bucket indices."""
+
+    def __init__(self, dataset: Dataset, n_bins: int):
+        self.dataset = dataset
+        self.n_bins = n_bins
+        self.discretizers: dict[str, EqualFrequencyDiscretizer] = {}
+        self.n_buckets: dict[str, int] = {}
+        self.buckets: dict[str, np.ndarray] = {}
+        for name in dataset.base_attrs:
+            encoder = dataset.encoders[name]
+            column = dataset.columns[name]
+            if encoder.categorical:
+                # bucket 0 = missing, buckets 1.. = category codes
+                self.buckets[name] = np.where(column >= 0, column + 1, 0)
+                self.n_buckets[name] = encoder.n_categories + 1
+            else:
+                known = ~np.isnan(column)
+                values = column[known]
+                if values.size == 0:
+                    self.buckets[name] = np.zeros(len(column), dtype=np.int64)
+                    self.n_buckets[name] = 1
+                    continue
+                bins = max(2, min(n_bins, len(np.unique(values))))
+                discretizer = EqualFrequencyDiscretizer(bins).fit(values)
+                self.discretizers[name] = discretizer
+                codes = np.zeros(len(column), dtype=np.int64)
+                codes[known] = discretizer.transform(column[known]) + 1
+                self.buckets[name] = codes
+                self.n_buckets[name] = discretizer.n_bins + 1
+
+    def bucket_of(self, name: str, raw: float) -> int:
+        encoder = self.dataset.encoders[name]
+        if encoder.categorical:
+            code = int(raw)
+            return 0 if code < 0 else code + 1
+        if math.isnan(raw):
+            return 0
+        discretizer = self.discretizers.get(name)
+        if discretizer is None:
+            return 0
+        return discretizer.transform_value(raw) + 1
+
+
+class OneRClassifier(AttributeClassifier):
+    """Holte's 1R on bucketized attributes."""
+
+    def __init__(self, *, n_bins: int = 6):
+        super().__init__()
+        if n_bins < 2:
+            raise ValueError("n_bins must be at least 2")
+        self.n_bins = n_bins
+        self.attribute: Optional[str] = None
+        self._bucketizer: Optional[_Bucketizer] = None
+        self._bucket_counts: Optional[np.ndarray] = None
+        self._global_counts: Optional[np.ndarray] = None
+
+    def fit(self, dataset: Dataset) -> None:
+        self.dataset = dataset
+        bucketizer = _Bucketizer(dataset, self.n_bins)
+        self._bucketizer = bucketizer
+        y = dataset.y
+        n_labels = dataset.n_labels
+        self._global_counts = np.bincount(y, minlength=n_labels).astype(float)
+        best_name, best_errors, best_joint = None, math.inf, None
+        for name in dataset.base_attrs:
+            buckets = bucketizer.buckets[name]
+            n_buckets = bucketizer.n_buckets[name]
+            joint = np.bincount(
+                buckets * n_labels + y, minlength=n_buckets * n_labels
+            ).reshape(n_buckets, n_labels).astype(float)
+            errors = float(joint.sum() - joint.max(axis=1).sum())
+            if errors < best_errors:
+                best_name, best_errors, best_joint = name, errors, joint
+        self.attribute = best_name
+        self._bucket_counts = best_joint
+
+    def predict_encoded(self, encoded: Mapping[str, float]) -> Prediction:
+        dataset = self._require_fitted()
+        assert self._bucketizer is not None and self._global_counts is not None
+        labels = dataset.class_encoder.labels
+        if self.attribute is None or self._bucket_counts is None:
+            counts = self._global_counts
+        else:
+            bucket = self._bucketizer.bucket_of(self.attribute, encoded[self.attribute])
+            bucket = min(bucket, self._bucket_counts.shape[0] - 1)
+            counts = self._bucket_counts[bucket]
+            if counts.sum() <= 0:
+                counts = self._global_counts
+        n = float(counts.sum())
+        if n <= 0:
+            return Prediction(np.full(len(labels), 1.0 / len(labels)), 0.0, labels)
+        return Prediction(counts / n, n, labels)
+
+    def __repr__(self) -> str:
+        return f"OneRClassifier(attribute={self.attribute!r})"
+
+
+@dataclass
+class PrismRule:
+    """A conjunction of (attribute, bucket) conditions predicting a class."""
+
+    target_code: int
+    conditions: tuple[tuple[str, int], ...]
+    counts: np.ndarray
+
+    def matches(self, buckets: Mapping[str, int]) -> bool:
+        return all(buckets[name] == bucket for name, bucket in self.conditions)
+
+    @property
+    def n(self) -> float:
+        return float(self.counts.sum())
+
+
+class PrismClassifier(AttributeClassifier):
+    """Cendrowska's PRISM covering algorithm on bucketized attributes.
+
+    ``min_coverage`` stops rule growth once a candidate rule would cover
+    fewer training instances; ``max_rules_per_class`` caps model size on
+    large, noisy tables; ``max_training`` subsamples the training data.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_bins: int = 6,
+        min_coverage: int = 3,
+        max_rules_per_class: int = 64,
+        max_training: Optional[int] = 3000,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if min_coverage < 1:
+            raise ValueError("min_coverage must be at least 1")
+        self.n_bins = n_bins
+        self.min_coverage = min_coverage
+        self.max_rules_per_class = max_rules_per_class
+        self.max_training = max_training
+        self.seed = seed
+        self.rules: list[PrismRule] = []
+        self._bucketizer: Optional[_Bucketizer] = None
+        self._global_counts: Optional[np.ndarray] = None
+
+    def fit(self, dataset: Dataset) -> None:
+        self.dataset = dataset
+        bucketizer = _Bucketizer(dataset, self.n_bins)
+        self._bucketizer = bucketizer
+        y_full = dataset.y
+        n = dataset.n_rows
+        if self.max_training is not None and n > self.max_training:
+            rng = random.Random(self.seed)
+            chosen = np.asarray(
+                sorted(rng.sample(range(n), self.max_training)), dtype=np.int64
+            )
+        else:
+            chosen = np.arange(n, dtype=np.int64)
+        y = y_full[chosen]
+        columns = {name: bucketizer.buckets[name][chosen] for name in dataset.base_attrs}
+        n_labels = dataset.n_labels
+        self._global_counts = np.bincount(y, minlength=n_labels).astype(float)
+        self.rules = []
+        for target in range(n_labels):
+            remaining = np.arange(y.size)
+            rules_built = 0
+            while (
+                rules_built < self.max_rules_per_class
+                and (y[remaining] == target).sum() >= self.min_coverage
+            ):
+                rule_idx, conditions = self._grow_rule(columns, y, remaining, target)
+                if rule_idx is None:
+                    break
+                counts = np.bincount(y[rule_idx], minlength=n_labels).astype(float)
+                self.rules.append(PrismRule(target, tuple(conditions), counts))
+                rules_built += 1
+                covered_target = rule_idx[y[rule_idx] == target]
+                remaining = np.setdiff1d(remaining, covered_target, assume_unique=False)
+
+    def _grow_rule(
+        self,
+        columns: Mapping[str, np.ndarray],
+        y: np.ndarray,
+        remaining: np.ndarray,
+        target: int,
+    ):
+        covered = remaining
+        conditions: list[tuple[str, int]] = []
+        used: set[str] = set()
+        while True:
+            precision_now = float((y[covered] == target).mean()) if covered.size else 0.0
+            if covered.size and precision_now == 1.0:
+                return covered, conditions
+            best = None  # (precision, coverage, name, bucket, idx)
+            for name, buckets in columns.items():
+                if name in used:
+                    continue
+                sub = buckets[covered]
+                for bucket in np.unique(sub):
+                    mask = sub == bucket
+                    coverage = int(mask.sum())
+                    if coverage < self.min_coverage:
+                        continue
+                    idx = covered[mask]
+                    precision = float((y[idx] == target).mean())
+                    key = (precision, coverage)
+                    if best is None or key > (best[0], best[1]):
+                        best = (precision, coverage, name, int(bucket), idx)
+            if best is None or best[0] <= precision_now:
+                if conditions and covered.size >= self.min_coverage and precision_now > 0:
+                    return covered, conditions
+                return None, conditions
+            _, _, name, bucket, idx = best
+            conditions.append((name, bucket))
+            used.add(name)
+            covered = idx
+
+    def predict_encoded(self, encoded: Mapping[str, float]) -> Prediction:
+        dataset = self._require_fitted()
+        assert self._bucketizer is not None and self._global_counts is not None
+        labels = dataset.class_encoder.labels
+        buckets = {
+            name: self._bucketizer.bucket_of(name, encoded[name])
+            for name in dataset.base_attrs
+        }
+        matching = [rule for rule in self.rules if rule.matches(buckets)]
+        if matching:
+            best = max(
+                matching,
+                key=lambda rule: (
+                    float(rule.counts[rule.target_code]) / max(rule.n, 1.0),
+                    rule.n,
+                ),
+            )
+            counts = best.counts
+        else:
+            counts = self._global_counts
+        n = float(counts.sum())
+        if n <= 0:
+            return Prediction(np.full(len(labels), 1.0 / len(labels)), 0.0, labels)
+        return Prediction(counts / n, n, labels)
+
+    def __repr__(self) -> str:
+        return f"PrismClassifier(rules={len(self.rules)})"

@@ -1,0 +1,88 @@
+"""Distribution-valued classification with missing-value blending.
+
+Sec. 5.2: *"The prediction of a decision tree is based on one or more (in
+the presence of null values) leaves. Based on the class distributions of
+the instance sets these leaves are labelled with, one can easily extend
+the prediction of a decision tree to the calculation of a class
+distribution."*
+
+Records whose split value is missing — or carries a category unseen at
+training time — are routed down *all* branches; per C4.5, the resulting
+class distribution is the convex combination of the branch distributions
+weighted by the branches' training fractions (so blending over a
+complete split reproduces the node's own class distribution). The support
+``n`` backing Def. 7's error confidence is combined the same way —
+the expected support of the leaf the record would have reached.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from repro.mining.tree.node import Leaf, Node, NominalSplit, NumericSplit
+
+__all__ = ["predict_distribution", "predict_counts"]
+
+
+def predict_distribution(
+    node: Node, encoded: Mapping[str, float]
+) -> tuple[np.ndarray, float]:
+    """``(probabilities, n)`` for one encoded record.
+
+    ``n`` is the (fraction-weighted) number of training instances the
+    prediction is based on.
+    """
+    if isinstance(node, Leaf):
+        n = node.n
+        if n <= 0:
+            size = max(len(node.counts), 1)
+            return np.full(len(node.counts), 1.0 / size), 0.0
+        return node.counts / n, n
+    if isinstance(node, NominalSplit):
+        code = int(encoded[node.attribute])
+        if code >= 0:
+            child = node.branches.get(code)
+            if child is not None:
+                return predict_distribution(child, encoded)
+        pairs = [
+            (node.fractions[branch_code], predict_distribution(child, encoded))
+            for branch_code, child in node.branches.items()
+        ]
+        return _blend(pairs, len(node.counts))
+    if isinstance(node, NumericSplit):
+        value = float(encoded[node.attribute])
+        if math.isnan(value):
+            pairs = [
+                (node.low_fraction, predict_distribution(node.low, encoded)),
+                (1.0 - node.low_fraction, predict_distribution(node.high, encoded)),
+            ]
+            return _blend(pairs, len(node.counts))
+        branch = node.low if value <= node.threshold else node.high
+        return predict_distribution(branch, encoded)
+    raise TypeError(f"unknown node type: {type(node).__name__}")
+
+
+def _blend(
+    pairs: list[tuple[float, tuple[np.ndarray, float]]], n_labels: int
+) -> tuple[np.ndarray, float]:
+    """Convex combination of branch (distribution, support) pairs."""
+    distribution = np.zeros(n_labels, dtype=float)
+    support = 0.0
+    total_fraction = 0.0
+    for fraction, (branch_distribution, branch_support) in pairs:
+        distribution += fraction * branch_distribution
+        support += fraction * branch_support
+        total_fraction += fraction
+    if total_fraction > 0:
+        distribution = distribution / total_fraction
+        support = support / total_fraction
+    return distribution, support
+
+
+def predict_counts(node: Node, encoded: Mapping[str, float]) -> np.ndarray:
+    """The prediction as a pseudo-count vector (``distribution · n``)."""
+    distribution, n = predict_distribution(node, encoded)
+    return distribution * n

@@ -1,0 +1,124 @@
+"""Decision-tree node structures.
+
+Every node carries the (weighted) class-count vector of the training
+instances it was labelled with — the classification machinery needs it
+for the distribution-valued prediction of sec. 5.2, the pruning criteria
+need it for both the pessimistic error and the expected error confidence,
+and missing-value handling blends children by their training fractions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Optional
+
+import numpy as np
+
+__all__ = ["Node", "Leaf", "NominalSplit", "NumericSplit"]
+
+
+class Node:
+    """Base class; ``counts[c]`` is the weighted number of training
+    instances of class code ``c`` at this node."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self, counts: np.ndarray):
+        self.counts = np.asarray(counts, dtype=float)
+
+    @property
+    def n(self) -> float:
+        """Total weighted training instances at this node."""
+        return float(self.counts.sum())
+
+    @property
+    def majority(self) -> int:
+        """Class code predicted at this node."""
+        return int(np.argmax(self.counts))
+
+    @property
+    def is_leaf(self) -> bool:
+        return isinstance(self, Leaf)
+
+    def children(self) -> Iterator["Node"]:
+        return iter(())
+
+    def node_count(self) -> int:
+        """Number of nodes in this subtree (including this one)."""
+        return 1 + sum(child.node_count() for child in self.children())
+
+    def leaf_count(self) -> int:
+        return max(1, sum(child.leaf_count() for child in self.children()))
+
+    def depth(self) -> int:
+        child_depths = [child.depth() for child in self.children()]
+        return 1 + max(child_depths, default=0)
+
+
+class Leaf(Node):
+    """A terminal node; predicts its majority class / count distribution."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return f"Leaf(n={self.n:g}, majority={self.majority})"
+
+
+class NominalSplit(Node):
+    """A multiway split on a nominal base attribute.
+
+    ``branches`` maps category codes to children; ``fractions`` holds each
+    child's share of the *known* training weight, used to distribute
+    instances whose split attribute is missing (or carries a category
+    unseen in training) over all branches — C4.5's fractional instances.
+    """
+
+    __slots__ = ("attribute", "branches", "fractions")
+
+    def __init__(
+        self,
+        counts: np.ndarray,
+        attribute: str,
+        branches: Mapping[int, Node],
+        fractions: Mapping[int, float],
+    ):
+        super().__init__(counts)
+        self.attribute = attribute
+        self.branches = dict(branches)
+        self.fractions = dict(fractions)
+
+    def children(self) -> Iterator[Node]:
+        return iter(self.branches.values())
+
+    def __repr__(self) -> str:
+        return f"NominalSplit({self.attribute!r}, branches={len(self.branches)}, n={self.n:g})"
+
+
+class NumericSplit(Node):
+    """A binary split ``attribute ≤ threshold`` on an ordered attribute."""
+
+    __slots__ = ("attribute", "threshold", "low", "high", "low_fraction")
+
+    def __init__(
+        self,
+        counts: np.ndarray,
+        attribute: str,
+        threshold: float,
+        low: Node,
+        high: Node,
+        low_fraction: float,
+    ):
+        super().__init__(counts)
+        self.attribute = attribute
+        self.threshold = threshold
+        self.low = low
+        self.high = high
+        self.low_fraction = low_fraction
+
+    def children(self) -> Iterator[Node]:
+        yield self.low
+        yield self.high
+
+    def __repr__(self) -> str:
+        return (
+            f"NumericSplit({self.attribute!r} <= {self.threshold:g}, n={self.n:g})"
+        )

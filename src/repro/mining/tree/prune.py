@@ -1,0 +1,168 @@
+"""Pruning criteria and post-pruning passes.
+
+* :func:`prune_pessimistic` — C4.5's subtree replacement with the
+  pessimistic classification error of sec. 5.1.2: a subtree is collapsed
+  to a leaf when the leaf's pessimistic error does not exceed the
+  instance-weighted pessimistic error of the subtree.
+* :func:`prune_expected_error_confidence` — the paper's criterion applied
+  as a *post*-pass (the production path integrates it into growth; the
+  post-pass exists for the ablation benchmarks).
+
+The expected-error-confidence criterion is a lexicographic score
+``(has_useful_leaf, expErrorConf)``; see
+:mod:`repro.mining.tree.grow` for the rationale (Def. 9 needs the
+minimal-confidence cutoff and a detection-potential component to be
+non-degenerate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mining.confidence import expected_error_confidence
+from repro.mining.intervals import ConfidenceBounds
+from repro.mining.tree.node import Leaf, Node, NominalSplit, NumericSplit
+
+__all__ = [
+    "pessimistic_error",
+    "prune_pessimistic",
+    "leaf_detection_useful",
+    "subtree_has_useful_leaf",
+    "subtree_expected_error_confidence",
+    "prune_expected_error_confidence",
+]
+
+_EPSILON = 1e-12
+
+
+# -- pessimistic error (classic C4.5) --------------------------------------------
+
+
+def _leaf_pessimistic_error(counts: np.ndarray, bounds: ConfidenceBounds) -> float:
+    """pessError of a (possible) leaf: rightBound(1 − p_majority, n)."""
+    n = float(counts.sum())
+    if n <= 0:
+        return 0.0
+    error_rate = 1.0 - float(counts.max()) / n
+    return bounds.right_bound(error_rate, n)
+
+
+def pessimistic_error(node: Node, bounds: ConfidenceBounds) -> float:
+    """pessError(k) per sec. 5.1.2 (a rate in [0, 1])."""
+    if isinstance(node, Leaf):
+        return _leaf_pessimistic_error(node.counts, bounds)
+    total = node.n
+    if total <= 0:
+        return 0.0
+    return sum(
+        child.n / total * pessimistic_error(child, bounds)
+        for child in node.children()
+    )
+
+
+def prune_pessimistic(node: Node, bounds: ConfidenceBounds) -> Node:
+    """Bottom-up subtree replacement by pessimistic error."""
+    if isinstance(node, Leaf):
+        return node
+    pruned = _rebuild(node, lambda child: prune_pessimistic(child, bounds))
+    as_leaf = _leaf_pessimistic_error(node.counts, bounds)
+    as_subtree = pessimistic_error(pruned, bounds)
+    if as_leaf <= as_subtree + _EPSILON:
+        return Leaf(node.counts)
+    return pruned
+
+
+# -- expected error confidence (paper sec. 5.4) ------------------------------------
+
+
+def leaf_detection_useful(
+    counts: np.ndarray, bounds: ConfidenceBounds, min_confidence: float
+) -> bool:
+    """Can a deviating record at this leaf ever reach *min_confidence*?
+
+    Best case: the observed class has probability 0, giving
+    ``leftBound(P(ĉ), n) − rightBound(0, n)``.
+    """
+    n = float(counts.sum())
+    if n <= 0:
+        return False
+    top = float(counts.max()) / n
+    potential = bounds.left_bound(top, n) - bounds.right_bound(0.0, n)
+    return potential >= min_confidence
+
+
+def subtree_has_useful_leaf(
+    node: Node, bounds: ConfidenceBounds, min_confidence: float
+) -> bool:
+    """Does any leaf of *node* pass :func:`leaf_detection_useful`?"""
+    if isinstance(node, Leaf):
+        return leaf_detection_useful(node.counts, bounds, min_confidence)
+    return any(
+        subtree_has_useful_leaf(child, bounds, min_confidence)
+        for child in node.children()
+    )
+
+
+def subtree_expected_error_confidence(
+    node: Node, bounds: ConfidenceBounds, min_confidence: float = 0.0
+) -> float:
+    """Def. 9, evaluated over a whole subtree (with the cutoff)."""
+    if isinstance(node, Leaf):
+        return expected_error_confidence(node.counts, bounds, min_confidence)
+    total = node.n
+    if total <= 0:
+        return 0.0
+    return sum(
+        child.n
+        / total
+        * subtree_expected_error_confidence(child, bounds, min_confidence)
+        for child in node.children()
+    )
+
+
+def prune_expected_error_confidence(
+    node: Node, bounds: ConfidenceBounds, min_confidence: float = 0.8
+) -> Node:
+    """Bottom-up subtree replacement by the lexicographic
+    (usefulness, expected-error-confidence) score."""
+    if isinstance(node, Leaf):
+        return node
+    pruned = _rebuild(
+        node,
+        lambda child: prune_expected_error_confidence(child, bounds, min_confidence),
+    )
+    leaf_score = (
+        leaf_detection_useful(node.counts, bounds, min_confidence),
+        expected_error_confidence(node.counts, bounds, min_confidence) + _EPSILON,
+    )
+    subtree_score = (
+        subtree_has_useful_leaf(pruned, bounds, min_confidence),
+        subtree_expected_error_confidence(pruned, bounds, min_confidence),
+    )
+    if leaf_score >= subtree_score:
+        return Leaf(node.counts)
+    return pruned
+
+
+# -- shared ---------------------------------------------------------------------
+
+
+def _rebuild(node: Node, transform) -> Node:
+    """A copy of *node* with children mapped through *transform*."""
+    if isinstance(node, NominalSplit):
+        return NominalSplit(
+            node.counts,
+            node.attribute,
+            {code: transform(child) for code, child in node.branches.items()},
+            node.fractions,
+        )
+    if isinstance(node, NumericSplit):
+        return NumericSplit(
+            node.counts,
+            node.attribute,
+            node.threshold,
+            transform(node.low),
+            transform(node.high),
+            node.low_fraction,
+        )
+    raise TypeError(f"unknown node type: {type(node).__name__}")

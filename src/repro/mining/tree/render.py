@@ -1,0 +1,93 @@
+"""ASCII rendering of decision trees (model inspection / debugging).
+
+The structure model the auditor induces is meant to be read by quality
+engineers (sec. 6.2 shows induced rules to domain experts); besides the
+rule-set view (:mod:`repro.mining.tree.rules`) this module renders the
+tree itself with per-node class distributions and supports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.mining.dataset import Dataset
+from repro.mining.tree.node import Leaf, Node, NominalSplit, NumericSplit
+from repro.schema.types import AttributeKind
+
+__all__ = ["render_tree"]
+
+
+def _distribution_summary(node: Node, dataset: Dataset, top: int = 2) -> str:
+    counts = node.counts
+    n = counts.sum()
+    if n <= 0:
+        return "empty"
+    labels = dataset.class_encoder.labels
+    order = np.argsort(counts)[::-1][:top]
+    parts = [
+        f"{labels[i]}:{counts[i] / n:.2f}" for i in order if counts[i] > 0
+    ]
+    return f"n={n:g} [{', '.join(parts)}]"
+
+
+def _branch_label(dataset: Dataset, attribute: str, code: int) -> str:
+    decoded = dataset.encoders[attribute].decode_category(code)
+    return "<unknown>" if decoded is None else decoded
+
+
+def _threshold_label(dataset: Dataset, attribute: str, threshold: float) -> str:
+    domain_attribute = dataset.encoders[attribute].attribute
+    if domain_attribute.kind is AttributeKind.DATE:
+        return domain_attribute.domain.from_number(threshold).isoformat()
+    return f"{threshold:g}"
+
+
+def render_tree(
+    node: Node,
+    dataset: Dataset,
+    *,
+    indent: str = "",
+    max_depth: Optional[int] = None,
+) -> str:
+    """Render *node* (grown over *dataset*) as an indented ASCII tree."""
+    lines: list[str] = []
+    _render(node, dataset, indent, lines, max_depth, depth=0)
+    return "\n".join(lines)
+
+
+def _render(
+    node: Node,
+    dataset: Dataset,
+    indent: str,
+    lines: list[str],
+    max_depth: Optional[int],
+    depth: int,
+) -> None:
+    summary = _distribution_summary(node, dataset)
+    if isinstance(node, Leaf):
+        label = dataset.class_encoder.labels[node.majority]
+        lines.append(f"{indent}→ {label}  ({summary})")
+        return
+    if max_depth is not None and depth >= max_depth:
+        lines.append(f"{indent}…  ({summary})")
+        return
+    if isinstance(node, NominalSplit):
+        lines.append(f"{indent}split on {node.attribute}  ({summary})")
+        for code in sorted(node.branches):
+            value = _branch_label(dataset, node.attribute, code)
+            lines.append(f"{indent}├─ {node.attribute} = {value}")
+            _render(
+                node.branches[code], dataset, indent + "│    ", lines, max_depth, depth + 1
+            )
+        return
+    if isinstance(node, NumericSplit):
+        shown = _threshold_label(dataset, node.attribute, node.threshold)
+        lines.append(f"{indent}split on {node.attribute}  ({summary})")
+        lines.append(f"{indent}├─ {node.attribute} <= {shown}")
+        _render(node.low, dataset, indent + "│    ", lines, max_depth, depth + 1)
+        lines.append(f"{indent}├─ {node.attribute} > {shown}")
+        _render(node.high, dataset, indent + "│    ", lines, max_depth, depth + 1)
+        return
+    raise TypeError(f"unknown node type: {type(node).__name__}")

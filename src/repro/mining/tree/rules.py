@@ -1,0 +1,171 @@
+"""Decision-tree → rule-set conversion (sec. 5.4).
+
+*"It is straightforward to represent an induced decision tree as a set of
+rules from the root to its leaves. If the dependency of a class attribute
+on its base attributes is very punctiform, it is often useful to reduce
+this set to the rules that do not have an expected error confidence of
+zero and thereby cannot contribute to an error detection."*
+
+The rule sets produced by all classifiers together form the **structure
+model** of the data — "a set of integrity constraints that must hold with
+a given probability" — and are what the QUIS case study prints
+(``BRV = 404 → GBM = 901``, based on 16118 instances, …).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.mining.confidence import expected_error_confidence
+from repro.mining.dataset import Dataset
+from repro.mining.intervals import ConfidenceBounds
+from repro.mining.tree.node import Leaf, Node, NominalSplit, NumericSplit
+from repro.schema.types import AttributeKind
+
+__all__ = ["PathCondition", "TreeRule", "extract_rules"]
+
+
+@dataclass(frozen=True)
+class PathCondition:
+    """One split decision along a root-to-leaf path.
+
+    ``operator`` is ``"="`` (nominal branch, ``value`` is the category
+    code), ``"<="`` or ``">"`` (numeric branch, ``value`` is the
+    threshold on the numeric view).
+    """
+
+    attribute: str
+    operator: str
+    value: float
+
+    def describe(self, dataset: Dataset) -> str:
+        encoder = dataset.encoders[self.attribute]
+        if self.operator == "=":
+            decoded = encoder.decode_category(int(self.value))
+            shown = "<unknown>" if decoded is None else decoded
+            return f"{self.attribute} = {shown}"
+        attribute = encoder.attribute
+        if attribute.kind is AttributeKind.DATE:
+            shown = attribute.domain.from_number(self.value).isoformat()
+        else:
+            shown = f"{self.value:g}"
+        return f"{self.attribute} {self.operator} {shown}"
+
+
+@dataclass
+class TreeRule:
+    """One root-to-leaf path with its class distribution and supports."""
+
+    conditions: tuple[PathCondition, ...]
+    counts: np.ndarray
+    predicted_code: int
+    predicted_label: str
+    expected_confidence: float
+
+    @property
+    def n(self) -> float:
+        """Weighted training instances the rule's prediction is based on."""
+        return float(self.counts.sum())
+
+    @property
+    def precision(self) -> float:
+        """Fraction of covered training instances with the predicted class."""
+        n = self.n
+        return float(self.counts[self.predicted_code]) / n if n > 0 else 0.0
+
+    def describe(self, dataset: Dataset, class_attr: Optional[str] = None) -> str:
+        class_name = class_attr or dataset.class_attr
+        if self.conditions:
+            premise = " ∧ ".join(c.describe(dataset) for c in self.conditions)
+        else:
+            premise = "TRUE"
+        return (
+            f"{premise} → {class_name} = {self.predicted_label}"
+            f"  [n={self.n:g}, precision={self.precision:.4f}]"
+        )
+
+
+def _walk(node: Node, path: tuple[PathCondition, ...]) -> Iterator[tuple[tuple[PathCondition, ...], Leaf]]:
+    if isinstance(node, Leaf):
+        yield path, node
+        return
+    if isinstance(node, NominalSplit):
+        for code, child in node.branches.items():
+            condition = PathCondition(node.attribute, "=", float(code))
+            yield from _walk(child, path + (condition,))
+        return
+    if isinstance(node, NumericSplit):
+        yield from _walk(
+            node.low, path + (PathCondition(node.attribute, "<=", node.threshold),)
+        )
+        yield from _walk(
+            node.high, path + (PathCondition(node.attribute, ">", node.threshold),)
+        )
+        return
+    raise TypeError(f"unknown node type: {type(node).__name__}")
+
+
+def _merge_numeric(path: tuple[PathCondition, ...]) -> tuple[PathCondition, ...]:
+    """Collapse repeated interval conditions on the same attribute to the
+    tightest bound (numeric attributes may be split several times along
+    one path)."""
+    uppers: dict[str, float] = {}
+    lowers: dict[str, float] = {}
+    merged: list[PathCondition] = []
+    for condition in path:
+        if condition.operator == "<=":
+            previous = uppers.get(condition.attribute, math.inf)
+            uppers[condition.attribute] = min(previous, condition.value)
+        elif condition.operator == ">":
+            previous = lowers.get(condition.attribute, -math.inf)
+            lowers[condition.attribute] = max(previous, condition.value)
+        else:
+            merged.append(condition)
+    for attribute, value in lowers.items():
+        merged.append(PathCondition(attribute, ">", value))
+    for attribute, value in uppers.items():
+        merged.append(PathCondition(attribute, "<=", value))
+    return tuple(merged)
+
+
+def extract_rules(
+    root: Node,
+    dataset: Dataset,
+    bounds: ConfidenceBounds,
+    *,
+    drop_useless: bool = True,
+    min_confidence: float = 0.0,
+) -> list[TreeRule]:
+    """All root-to-leaf rules.
+
+    With ``drop_useless`` (the paper's default behaviour) rules "that …
+    cannot contribute to an error detection" are removed: leaves whose
+    best-case error confidence — ``leftBound(P(ĉ), n) − rightBound(0, n)``
+    — stays below *min_confidence*.
+    """
+    from repro.mining.tree.prune import leaf_detection_useful
+
+    rules: list[TreeRule] = []
+    labels = dataset.class_encoder.labels
+    for path, leaf in _walk(root, ()):
+        if drop_useless and not leaf_detection_useful(
+            leaf.counts, bounds, min_confidence
+        ):
+            continue
+        confidence = expected_error_confidence(leaf.counts, bounds, min_confidence)
+        code = leaf.majority
+        rules.append(
+            TreeRule(
+                conditions=_merge_numeric(path),
+                counts=leaf.counts,
+                predicted_code=code,
+                predicted_label=labels[code],
+                expected_confidence=confidence,
+            )
+        )
+    rules.sort(key=lambda rule: (-rule.n, -rule.expected_confidence))
+    return rules

@@ -1,0 +1,59 @@
+"""The production classifier: the auditing-adjusted C4.5 tree."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.mining.base import AttributeClassifier, Prediction
+from repro.mining.dataset import Dataset
+from repro.mining.tree.classify import predict_distribution
+from repro.mining.tree.grow import TreeConfig, grow_tree
+from repro.mining.tree.node import Node
+from repro.mining.tree.rules import TreeRule, extract_rules
+
+__all__ = ["TreeClassifier"]
+
+
+class TreeClassifier(AttributeClassifier):
+    """Decision-tree dependency model (sec. 5.1 + 5.4 adjustments).
+
+    The default configuration uses the integrated expected-error-confidence
+    pruning; pass a :class:`TreeConfig` for the classic C4.5 behaviour
+    (pessimistic pruning) or an unpruned tree.
+    """
+
+    def __init__(self, config: Optional[TreeConfig] = None):
+        super().__init__()
+        self.config = config or TreeConfig()
+        self.root: Optional[Node] = None
+
+    def fit(self, dataset: Dataset) -> None:
+        self.dataset = dataset
+        self.root = grow_tree(dataset, self.config)
+
+    def predict_encoded(self, encoded: Mapping[str, float]) -> Prediction:
+        dataset = self._require_fitted()
+        assert self.root is not None
+        probabilities, n = predict_distribution(self.root, encoded)
+        return Prediction(probabilities, n, dataset.class_encoder.labels)
+
+    def rules(self, *, drop_useless: bool = True) -> list[TreeRule]:
+        """The tree as a rule set (sec. 5.4), by default without rules
+        that cannot contribute to an error detection."""
+        dataset = self._require_fitted()
+        assert self.root is not None
+        return extract_rules(
+            self.root,
+            dataset,
+            self.config.bounds,
+            drop_useless=drop_useless,
+            min_confidence=self.config.min_detection_confidence,
+        )
+
+    def __repr__(self) -> str:
+        if self.root is None:
+            return "TreeClassifier(unfitted)"
+        return (
+            f"TreeClassifier(nodes={self.root.node_count()}, "
+            f"leaves={self.root.leaf_count()}, depth={self.root.depth()})"
+        )

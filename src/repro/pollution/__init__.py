@@ -1,0 +1,29 @@
+"""Controlled data corruption (paper sec. 4.2): five polluter components
+with activation probabilities, a common pollution factor, and ground-truth
+logging for the evaluation metrics of sec. 4.3."""
+
+from repro.pollution.log import CellChange, PollutionLog, RowEvent, RowEventKind
+from repro.pollution.pipeline import PollutionPipeline, default_polluters
+from repro.pollution.polluters import (
+    Duplicator,
+    Limiter,
+    NullValuePolluter,
+    Polluter,
+    Switcher,
+    WrongValuePolluter,
+)
+
+__all__ = [
+    "CellChange",
+    "RowEvent",
+    "RowEventKind",
+    "PollutionLog",
+    "Polluter",
+    "WrongValuePolluter",
+    "NullValuePolluter",
+    "Limiter",
+    "Switcher",
+    "Duplicator",
+    "PollutionPipeline",
+    "default_polluters",
+]

@@ -1,0 +1,302 @@
+"""The five corruption components of sec. 4.2.
+
+*"Components in the test environment, each parameterized with an
+activation probability, simulate the strategies for identification and
+analysis of different forms of data pollution as defined by Dasu and
+Hernandez: wrong value polluter, null-value polluter, limiter, switcher,
+duplicator."*
+
+Granularity (the paper leaves it open): the value-level polluters (wrong
+value, null value, limiter) activate **per cell**, the record-level ones
+(switcher, duplicator) **per record**. All activation probabilities are
+multiplied by the pipeline's common *pollution factor* — the knob swept by
+figure 5.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+from repro.generator.distributions import Distribution, Uniform
+from repro.pollution.log import PollutionLog, RowEventKind
+from repro.schema.attribute import Attribute
+from repro.schema.domain import DateDomain, NominalDomain, NumericDomain
+from repro.schema.table import Table
+
+__all__ = [
+    "Polluter",
+    "WrongValuePolluter",
+    "NullValuePolluter",
+    "Limiter",
+    "Switcher",
+    "Duplicator",
+]
+
+_REDRAW_TRIES = 4
+
+
+class Polluter(ABC):
+    """A corruption component with an activation probability."""
+
+    #: short identifier written into the pollution log
+    name: str = "polluter"
+
+    def __init__(self, activation_probability: float):
+        if not 0.0 <= activation_probability <= 1.0:
+            raise ValueError("activation_probability must lie in [0, 1]")
+        self.activation_probability = activation_probability
+
+    def _active(self, rng: random.Random, factor: float) -> bool:
+        return rng.random() < min(1.0, self.activation_probability * factor)
+
+    @abstractmethod
+    def pollute(
+        self,
+        table: Table,
+        rng: random.Random,
+        log: PollutionLog,
+        factor: float = 1.0,
+    ) -> None:
+        """Corrupt *table* in place, recording ground truth in *log*."""
+
+    def _target_attributes(
+        self, table: Table, names: Optional[Sequence[str]]
+    ) -> list[Attribute]:
+        if names is None:
+            return list(table.schema.attributes)
+        return [table.schema.attribute(name) for name in names]
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(p={self.activation_probability})"
+
+
+class WrongValuePolluter(Polluter):
+    """Overwrites a cell with a value drawn from a distribution
+    (sec. 4.2: "Assigns a new value to an attribute according to a
+    probability distribution defined in the same way as in section
+    4.1.4").
+
+    The replacement is redrawn a few times if it coincides with the old
+    value, so an activation almost always produces a real error.
+    """
+
+    name = "wrong_value"
+
+    def __init__(
+        self,
+        activation_probability: float,
+        *,
+        distribution: Optional[Distribution] = None,
+        attributes: Optional[Sequence[str]] = None,
+    ):
+        super().__init__(activation_probability)
+        self.distribution = distribution or Uniform()
+        self.attributes = tuple(attributes) if attributes is not None else None
+
+    def pollute(self, table, rng, log, factor=1.0):
+        targets = self._target_attributes(table, self.attributes)
+        for row_index in range(table.n_rows):
+            row = table.rows[row_index]
+            for attribute in targets:
+                if not self._active(rng, factor):
+                    continue
+                position = table.schema.position(attribute.name)
+                before = row[position]
+                after = before
+                for _ in range(_REDRAW_TRIES):
+                    after = self.distribution.sample(attribute, rng)
+                    if after != before:
+                        break
+                row[position] = after
+                log.record_cell(row_index, attribute.name, before, after, self.name)
+
+
+class NullValuePolluter(Polluter):
+    """Replaces a cell value by null (simulating lost values in loads)."""
+
+    name = "null_value"
+
+    def __init__(
+        self,
+        activation_probability: float,
+        *,
+        attributes: Optional[Sequence[str]] = None,
+    ):
+        super().__init__(activation_probability)
+        self.attributes = tuple(attributes) if attributes is not None else None
+
+    def pollute(self, table, rng, log, factor=1.0):
+        targets = self._target_attributes(table, self.attributes)
+        for row_index in range(table.n_rows):
+            row = table.rows[row_index]
+            for attribute in targets:
+                if not self._active(rng, factor):
+                    continue
+                position = table.schema.position(attribute.name)
+                before = row[position]
+                if before is None:
+                    continue
+                row[position] = None
+                log.record_cell(row_index, attribute.name, before, None, self.name)
+
+
+class Limiter(Polluter):
+    """Cuts off an ordered value at a maximal or minimal bound
+    (simulating fixed-width fields and saturating conversions).
+
+    Bounds default to the 5 %/95 % span fractions of each attribute's
+    domain; only values outside the window are clipped (and logged).
+    """
+
+    name = "limiter"
+
+    def __init__(
+        self,
+        activation_probability: float,
+        *,
+        lower_fraction: float = 0.05,
+        upper_fraction: float = 0.95,
+        attributes: Optional[Sequence[str]] = None,
+    ):
+        super().__init__(activation_probability)
+        if not 0.0 <= lower_fraction < upper_fraction <= 1.0:
+            raise ValueError("need 0 ≤ lower_fraction < upper_fraction ≤ 1")
+        self.lower_fraction = lower_fraction
+        self.upper_fraction = upper_fraction
+        self.attributes = tuple(attributes) if attributes is not None else None
+
+    def _bounds(self, attribute: Attribute) -> Optional[tuple[float, float]]:
+        domain = attribute.domain
+        if isinstance(domain, NumericDomain):
+            low, high = float(domain.low), float(domain.high)
+        elif isinstance(domain, DateDomain):
+            low, high = float(domain.start.toordinal()), float(domain.end.toordinal())
+        else:
+            return None
+        span = high - low
+        return low + self.lower_fraction * span, low + self.upper_fraction * span
+
+    def pollute(self, table, rng, log, factor=1.0):
+        targets = [
+            a
+            for a in self._target_attributes(table, self.attributes)
+            if a.kind.is_ordered
+        ]
+        for row_index in range(table.n_rows):
+            row = table.rows[row_index]
+            for attribute in targets:
+                if not self._active(rng, factor):
+                    continue
+                bounds = self._bounds(attribute)
+                if bounds is None:
+                    continue
+                position = table.schema.position(attribute.name)
+                before = row[position]
+                if before is None:
+                    continue
+                number = attribute.domain.to_number(before)
+                clipped = min(max(number, bounds[0]), bounds[1])
+                if clipped == number:
+                    continue
+                after = attribute.domain.from_number(clipped)
+                row[position] = after
+                log.record_cell(row_index, attribute.name, before, after, self.name)
+
+
+class Switcher(Polluter):
+    """Switches the values of two attributes within a record
+    (simulating column mix-ups in load processes).
+
+    By default only *kind-compatible* attribute pairs are switched; pass
+    ``pairs`` to restrict to specific attribute pairs, or
+    ``allow_incompatible=True`` to also swap across kinds (producing
+    domain-violating cells, which the auditing substrate treats as
+    missing values).
+    """
+
+    name = "switcher"
+
+    def __init__(
+        self,
+        activation_probability: float,
+        *,
+        pairs: Optional[Sequence[tuple[str, str]]] = None,
+        allow_incompatible: bool = False,
+    ):
+        super().__init__(activation_probability)
+        self.pairs = [tuple(p) for p in pairs] if pairs is not None else None
+        self.allow_incompatible = allow_incompatible
+
+    def _candidate_pairs(self, table: Table) -> list[tuple[str, str]]:
+        if self.pairs is not None:
+            for a, b in self.pairs:
+                table.schema.attribute(a)
+                table.schema.attribute(b)
+            return list(self.pairs)
+        attributes = table.schema.attributes
+        pairs = []
+        for i, first in enumerate(attributes):
+            for second in attributes[i + 1 :]:
+                if self.allow_incompatible or first.kind is second.kind:
+                    pairs.append((first.name, second.name))
+        return pairs
+
+    def pollute(self, table, rng, log, factor=1.0):
+        pairs = self._candidate_pairs(table)
+        if not pairs:
+            return
+        for row_index in range(table.n_rows):
+            if not self._active(rng, factor):
+                continue
+            first, second = pairs[rng.randrange(len(pairs))]
+            pos_a = table.schema.position(first)
+            pos_b = table.schema.position(second)
+            row = table.rows[row_index]
+            value_a, value_b = row[pos_a], row[pos_b]
+            if value_a == value_b:
+                continue
+            row[pos_a], row[pos_b] = value_b, value_a
+            log.record_cell(row_index, first, value_a, value_b, self.name)
+            log.record_cell(row_index, second, value_b, value_a, self.name)
+
+
+class Duplicator(Polluter):
+    """Duplicates (or deletes) a record (sec. 4.2).
+
+    On activation the record is deleted with probability
+    ``delete_probability``, otherwise an exact copy is inserted directly
+    after it. Rows are processed from the bottom up and the log is
+    re-indexed on every structural change, so earlier log entries stay
+    attributed to the right dirty-table rows.
+    """
+
+    name = "duplicator"
+
+    def __init__(self, activation_probability: float, *, delete_probability: float = 0.5):
+        super().__init__(activation_probability)
+        if not 0.0 <= delete_probability <= 1.0:
+            raise ValueError("delete_probability must lie in [0, 1]")
+        self.delete_probability = delete_probability
+
+    def pollute(self, table, rng, log, factor=1.0):
+        for row_index in reversed(range(table.n_rows)):
+            if not self._active(rng, factor):
+                continue
+            if rng.random() < self.delete_probability:
+                # drop log entries that pointed at the vanishing row …
+                log.cell_changes = [c for c in log.cell_changes if c.row != row_index]
+                log.row_events = [
+                    e
+                    for e in log.row_events
+                    if not (e.kind is RowEventKind.DUPLICATED and e.row == row_index)
+                ]
+                table.delete_row(row_index)
+                log.record_delete(row_index, self.name)
+                # … and shift everything that sat below it
+                log.shift_rows_from(row_index + 1, -1)
+            else:
+                table.rows.insert(row_index + 1, list(table.rows[row_index]))
+                log.shift_rows_from(row_index + 1, +1)
+                log.record_duplicate(row_index + 1, row_index, self.name)

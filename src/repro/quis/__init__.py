@@ -1,0 +1,15 @@
+"""Synthetic QUIS engine-composition substrate (paper secs. 3.2, 6.2)."""
+
+from repro.quis.simulator import (
+    QuisSample,
+    generate_clean_quis,
+    generate_quis_sample,
+    quis_schema,
+)
+
+__all__ = [
+    "QuisSample",
+    "quis_schema",
+    "generate_clean_quis",
+    "generate_quis_sample",
+]

@@ -1,0 +1,234 @@
+"""Synthetic QUIS engine-composition table (paper secs. 3.2 and 6.2).
+
+The paper's case study audits a table of DaimlerChrysler's QUIS database
+"that describes the composition of all industry engines manufactured by
+Mercedes-Benz. It contains 8 attributes and about 200000 records. The
+attributes code the model category of each individual engine and its
+production date." The real data is proprietary; this simulator produces a
+table with the same statistical shape (see DESIGN.md's substitution
+table):
+
+* 8 attributes — model series ``BRV``, base engine code ``GBM``,
+  component code ``KBM``, aggregate type ``AGGT``, plant ``WERK``,
+  displacement ``HUBRAUM``, production date ``PROD_DATUM``, and an
+  order-code attribute ``AUFTRAG`` that carries no dependency (noise);
+* embedded dependencies that include the paper's two reported rules with
+  matching relative supports:
+  ``BRV = 404 → GBM = 901`` (16118 of ~200 k ≈ 8.1 % of rows) and
+  ``KBM = 01 ∧ GBM = 901 → BRV = 501`` (9530 ≈ 4.8 %);
+* a configurable seeded error rate with exact ground truth, plus the
+  paper's *canonical error*: one ``BRV = 404`` record whose ``GBM`` reads
+  ``911`` instead of ``901`` — the record the tool ranked first at an
+  error confidence of 99.95 %.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.pollution.log import PollutionLog
+from repro.pollution.pipeline import PollutionPipeline
+from repro.pollution.polluters import NullValuePolluter, WrongValuePolluter
+from repro.schema.attribute import date, nominal, numeric
+from repro.schema.schema import Schema
+from repro.schema.table import Table
+
+__all__ = ["QuisSample", "quis_schema", "generate_clean_quis", "generate_quis_sample"]
+
+#: model series and their marginal probabilities (404 ≈ 8.1 %, 501 ≈ 5 %
+#: reproduce the supports of the paper's two example rules)
+_BRV_WEIGHTS = {
+    "401": 0.115,
+    "403": 0.09,
+    "404": 0.081,
+    "407": 0.10,
+    "501": 0.050,
+    "504": 0.12,
+    "509": 0.11,
+    "511": 0.13,
+    "517": 0.114,
+    "541": 0.09,
+}
+
+#: functional dependency BRV → GBM (the paper's BRV=404 → GBM=901; GBM 901
+#: is shared by series 501, so KBM is needed to pin the series)
+_BRV_TO_GBM = {
+    "401": "902",
+    "403": "904",
+    "404": "901",
+    "407": "906",
+    "501": "901",
+    "504": "912",
+    "509": "911",
+    "511": "924",
+    "517": "936",
+    "541": "912",
+}
+
+#: per-series KBM distributions; KBM=01 occurs for series 501 (≈95 % of
+#: its rows) but never for 404, making KBM=01 ∧ GBM=901 → BRV=501 valid
+_BRV_TO_KBM = {
+    "401": {"02": 0.6, "03": 0.4},
+    "403": {"03": 0.7, "04": 0.3},
+    "404": {"02": 0.55, "05": 0.45},
+    "407": {"04": 0.5, "07": 0.5},
+    "501": {"01": 0.95, "02": 0.05},
+    "504": {"05": 0.8, "07": 0.2},
+    "509": {"03": 0.5, "04": 0.5},
+    "511": {"07": 0.6, "02": 0.4},
+    "517": {"04": 0.65, "05": 0.35},
+    "541": {"05": 0.5, "03": 0.5},
+}
+
+#: GBM → aggregate type (diesel / gasoline / heavy-duty)
+_GBM_TO_AGGT = {
+    "901": "D",
+    "902": "D",
+    "904": "G",
+    "906": "G",
+    "911": "D",
+    "912": "H",
+    "924": "G",
+    "936": "H",
+}
+
+#: per-series plants (each series is built at one or two plants)
+_BRV_TO_WERK = {
+    "401": ("MA",),
+    "403": ("MA", "BE"),
+    "404": ("BE",),
+    "407": ("KS",),
+    "501": ("BE", "UT"),
+    "504": ("KS", "UT"),
+    "509": ("MA",),
+    "511": ("UT",),
+    "517": ("KS",),
+    "541": ("BE",),
+}
+
+#: GBM → displacement band (cm³); values are drawn uniformly inside
+_GBM_TO_HUBRAUM = {
+    "901": (4200, 4800),
+    "902": (2100, 2700),
+    "904": (2800, 3400),
+    "906": (3500, 4100),
+    "911": (5500, 6400),
+    "912": (6500, 7800),
+    "924": (8000, 9500),
+    "936": (11000, 14000),
+}
+
+#: per-plant production windows (plants ramp up at different times)
+_WERK_TO_WINDOW = {
+    "MA": (datetime.date(1996, 1, 1), datetime.date(2002, 12, 31)),
+    "BE": (datetime.date(1997, 6, 1), datetime.date(2002, 12, 31)),
+    "KS": (datetime.date(1998, 1, 1), datetime.date(2002, 12, 31)),
+    "UT": (datetime.date(1999, 3, 1), datetime.date(2002, 12, 31)),
+}
+
+_AUFTRAG_VALUES = [f"A{index:02d}" for index in range(30)]
+
+
+def quis_schema() -> Schema:
+    """Schema of the simulated engine-composition table (8 attributes)."""
+    return Schema(
+        [
+            nominal("BRV", sorted(_BRV_WEIGHTS)),
+            nominal("GBM", sorted(set(_BRV_TO_GBM.values()))),
+            nominal("KBM", sorted({k for kbm in _BRV_TO_KBM.values() for k in kbm})),
+            nominal("AGGT", sorted(set(_GBM_TO_AGGT.values()))),
+            nominal("WERK", sorted(_WERK_TO_WINDOW)),
+            numeric("HUBRAUM", 2000, 16000, integer=True),
+            date("PROD_DATUM", datetime.date(1996, 1, 1), datetime.date(2002, 12, 31)),
+            nominal("AUFTRAG", _AUFTRAG_VALUES),
+        ]
+    )
+
+
+def _weighted_choice(rng: random.Random, weights: dict[str, float]) -> str:
+    pick = rng.random() * sum(weights.values())
+    cumulative = 0.0
+    for value, weight in weights.items():
+        cumulative += weight
+        if pick <= cumulative:
+            return value
+    return value  # type: ignore[return-value]  # float slack: last value
+
+
+def generate_clean_quis(n_records: int, rng: random.Random) -> Table:
+    """A clean table of *n_records* engine-composition rows."""
+    schema = quis_schema()
+    table = Table(schema)
+    for _ in range(n_records):
+        brv = _weighted_choice(rng, _BRV_WEIGHTS)
+        gbm = _BRV_TO_GBM[brv]
+        kbm = _weighted_choice(rng, _BRV_TO_KBM[brv])
+        aggt = _GBM_TO_AGGT[gbm]
+        plants = _BRV_TO_WERK[brv]
+        werk = plants[rng.randrange(len(plants))]
+        low, high = _GBM_TO_HUBRAUM[gbm]
+        hubraum = rng.randint(low, high)
+        window_start, window_end = _WERK_TO_WINDOW[werk]
+        span = window_end.toordinal() - window_start.toordinal()
+        prod = datetime.date.fromordinal(window_start.toordinal() + rng.randrange(span + 1))
+        auftrag = _AUFTRAG_VALUES[rng.randrange(len(_AUFTRAG_VALUES))]
+        table.rows.append([brv, gbm, kbm, aggt, werk, hubraum, prod, auftrag])
+    return table
+
+
+@dataclass
+class QuisSample:
+    """A simulated QUIS audit input with exact ground truth."""
+
+    clean: Table
+    dirty: Table
+    log: PollutionLog
+    #: dirty-table row index of the paper's canonical error
+    #: (BRV=404 with GBM=911 instead of 901)
+    canonical_row: int
+
+    @property
+    def schema(self) -> Schema:
+        return self.dirty.schema
+
+
+def generate_quis_sample(
+    n_records: int = 200_000,
+    *,
+    seed: int = 2003,
+    error_rate: float = 0.004,
+    null_rate: float = 0.001,
+) -> QuisSample:
+    """Generate the sec.-6.2 audit input at a configurable scale.
+
+    ``error_rate`` / ``null_rate`` are per-cell activation probabilities
+    of the wrong-value / null-value polluters ("Coding errors,
+    misspellings, typing errors, or data load process failures"). On top
+    of the random corruption, exactly one ``BRV = 404`` record receives
+    ``GBM = 911`` — the paper's highest-ranked deviation.
+    """
+    if n_records < 100:
+        raise ValueError("the QUIS sample needs at least 100 records")
+    rng = random.Random(seed)
+    clean = generate_clean_quis(n_records, rng)
+    polluters = []
+    if error_rate > 0:
+        polluters.append(WrongValuePolluter(error_rate))
+    if null_rate > 0:
+        polluters.append(NullValuePolluter(null_rate))
+    dirty, log = PollutionPipeline(polluters).apply(clean, rng)
+
+    # the canonical error: one 404-series engine coded with GBM 911
+    candidates = [
+        row
+        for row in range(dirty.n_rows)
+        if dirty.cell(row, "BRV") == "404" and dirty.cell(row, "GBM") == "901"
+    ]
+    canonical_row = candidates[rng.randrange(len(candidates))]
+    before = dirty.cell(canonical_row, "GBM")
+    dirty.set_cell(canonical_row, "GBM", "911")
+    log.record_cell(canonical_row, "GBM", before, "911", "canonical_quis_error")
+    return QuisSample(clean=clean, dirty=dirty, log=log, canonical_row=canonical_row)

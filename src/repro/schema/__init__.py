@@ -1,0 +1,30 @@
+"""Relational substrate: attribute kinds, domains, schemas, tables, CSV I/O."""
+
+from repro.schema.attribute import Attribute, date, nominal, numeric
+from repro.schema.domain import DateDomain, Domain, NominalDomain, NumericDomain
+from repro.schema.io import read_csv, table_from_csv_text, table_to_csv_text, write_csv
+from repro.schema.schema import Schema
+from repro.schema.table import Row, Table
+from repro.schema.types import NULL, AttributeKind, Value, is_null
+
+__all__ = [
+    "AttributeKind",
+    "Value",
+    "NULL",
+    "is_null",
+    "Domain",
+    "NominalDomain",
+    "NumericDomain",
+    "DateDomain",
+    "Attribute",
+    "nominal",
+    "numeric",
+    "date",
+    "Schema",
+    "Table",
+    "Row",
+    "write_csv",
+    "read_csv",
+    "table_to_csv_text",
+    "table_from_csv_text",
+]

@@ -1,0 +1,79 @@
+"""Attributes: a named, typed column with a domain and nullability flag."""
+
+from __future__ import annotations
+
+import datetime
+from typing import Sequence
+
+from repro.schema.domain import DateDomain, Domain, NominalDomain, NumericDomain
+from repro.schema.types import AttributeKind, Value
+
+__all__ = ["Attribute", "nominal", "numeric", "date"]
+
+
+class Attribute:
+    """A single attribute (column) of the target relation.
+
+    Parameters
+    ----------
+    name:
+        Attribute name; must be a non-empty identifier-like string.
+    domain:
+        The :class:`~repro.schema.domain.Domain` of legal non-null values.
+    nullable:
+        Whether null values are admissible. The satisfiability test and
+        the data generator both consult this flag (``A isnull`` is
+        unsatisfiable for a non-nullable attribute).
+    """
+
+    def __init__(self, name: str, domain: Domain, *, nullable: bool = True):
+        if not name or not isinstance(name, str):
+            raise ValueError("attribute name must be a non-empty string")
+        self.name = name
+        self.domain = domain
+        self.nullable = bool(nullable)
+
+    @property
+    def kind(self) -> AttributeKind:
+        """The attribute kind, delegated to the domain."""
+        return self.domain.kind
+
+    def admits(self, value: Value) -> bool:
+        """Return ``True`` iff *value* (possibly null) is legal for this attribute."""
+        if value is None:
+            return self.nullable
+        return self.domain.contains(value)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Attribute)
+            and self.name == other.name
+            and self.domain == other.domain
+            and self.nullable == other.nullable
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.domain, self.nullable))
+
+    def __repr__(self) -> str:
+        null = "" if self.nullable else ", nullable=False"
+        return f"Attribute({self.name!r}, {self.domain!r}{null})"
+
+
+def nominal(name: str, values: Sequence[str], *, nullable: bool = True) -> Attribute:
+    """Shorthand for a nominal attribute over *values*."""
+    return Attribute(name, NominalDomain(values), nullable=nullable)
+
+
+def numeric(
+    name: str, low: float, high: float, *, integer: bool = False, nullable: bool = True
+) -> Attribute:
+    """Shorthand for a numeric attribute over ``[low, high]``."""
+    return Attribute(name, NumericDomain(low, high, integer=integer), nullable=nullable)
+
+
+def date(
+    name: str, start: datetime.date, end: datetime.date, *, nullable: bool = True
+) -> Attribute:
+    """Shorthand for a date attribute over ``[start, end]``."""
+    return Attribute(name, DateDomain(start, end), nullable=nullable)

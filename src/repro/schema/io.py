@@ -1,0 +1,131 @@
+"""CSV serialization for tables.
+
+Cells are rendered according to the attribute kind:
+
+* nominal — the raw string,
+* numeric — ``repr`` of the int/float,
+* date — ISO format (``YYYY-MM-DD``),
+* null — a configurable marker (default: empty field).
+
+Reading is schema-driven: the schema decides how each field is parsed, so a
+round trip through CSV is loss-free for admissible tables.
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime
+import io as _io
+from pathlib import Path
+from typing import TextIO, Union
+
+from repro.schema.schema import Schema
+from repro.schema.table import Table
+from repro.schema.types import AttributeKind, Value
+
+__all__ = ["write_csv", "read_csv", "table_to_csv_text", "table_from_csv_text"]
+
+_DEFAULT_NULL = ""
+
+
+def _render(value: Value, kind: AttributeKind, null_marker: str) -> str:
+    if value is None:
+        return null_marker
+    if kind is AttributeKind.DATE:
+        return value.isoformat()  # type: ignore[union-attr]
+    if kind is AttributeKind.NUMERIC:
+        if isinstance(value, int):
+            return str(value)
+        return repr(float(value))
+    return str(value)
+
+
+def _parse(text: str, kind: AttributeKind, null_marker: str, integer: bool) -> Value:
+    if text == null_marker:
+        return None
+    if kind is AttributeKind.NOMINAL:
+        return text
+    if kind is AttributeKind.DATE:
+        return datetime.date.fromisoformat(text)
+    if integer:
+        return int(text)
+    number = float(text)
+    return int(number) if number.is_integer() and "." not in text and "e" not in text.lower() else number
+
+
+def write_csv(table: Table, target: Union[str, Path, TextIO], *, null_marker: str = _DEFAULT_NULL) -> None:
+    """Write *table* (with a header row) to a path or text stream."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", newline="", encoding="utf-8") as handle:
+            _write(table, handle, null_marker)
+    else:
+        _write(table, target, null_marker)
+
+
+def _write(table: Table, handle: TextIO, null_marker: str) -> None:
+    writer = csv.writer(handle)
+    writer.writerow(table.schema.names)
+    kinds = [a.kind for a in table.schema.attributes]
+    for row in table.rows:
+        writer.writerow([_render(v, k, null_marker) for v, k in zip(row, kinds)])
+
+
+def read_csv(
+    schema: Schema,
+    source: Union[str, Path, TextIO],
+    *,
+    null_marker: str = _DEFAULT_NULL,
+    validate: bool = False,
+) -> Table:
+    """Read a table of *schema* from a path or text stream.
+
+    The header row must name exactly the schema attributes; column order in
+    the file may differ from schema order.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", newline="", encoding="utf-8") as handle:
+            return _read(schema, handle, null_marker, validate)
+    return _read(schema, source, null_marker, validate)
+
+
+def _read(schema: Schema, handle: TextIO, null_marker: str, validate: bool) -> Table:
+    reader = csv.reader(handle)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError("CSV input is empty (missing header row)") from None
+    if set(header) != set(schema.names):
+        raise ValueError(
+            f"CSV header {header!r} does not match schema attributes {list(schema.names)!r}"
+        )
+    order = [header.index(name) for name in schema.names]
+    kinds = [a.kind for a in schema.attributes]
+    integers = [
+        getattr(a.domain, "integer", False) for a in schema.attributes
+    ]
+    table = Table(schema)
+    for line_no, fields in enumerate(reader, start=2):
+        if len(fields) != len(header):
+            raise ValueError(f"line {line_no}: expected {len(header)} fields, got {len(fields)}")
+        cells = [
+            _parse(fields[src], kind, null_marker, integer)
+            for src, kind, integer in zip(order, kinds, integers)
+        ]
+        table.rows.append(cells)
+    if validate:
+        table.validate()
+    return table
+
+
+def table_to_csv_text(table: Table, *, null_marker: str = _DEFAULT_NULL) -> str:
+    """Render *table* as a CSV string."""
+    buffer = _io.StringIO()
+    write_csv(table, buffer, null_marker=null_marker)
+    return buffer.getvalue()
+
+
+def table_from_csv_text(
+    schema: Schema, text: str, *, null_marker: str = _DEFAULT_NULL, validate: bool = False
+) -> Table:
+    """Parse a table of *schema* from a CSV string."""
+    return read_csv(schema, _io.StringIO(text), null_marker=null_marker, validate=validate)

@@ -1,0 +1,112 @@
+"""Relation schemas: an ordered collection of attributes with name lookup."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.schema.attribute import Attribute
+from repro.schema.types import AttributeKind, Value
+
+__all__ = ["Schema"]
+
+
+class Schema:
+    """The schema of the single target relation (sec. 4.1: "After defining a
+    schema for the target relation with domain ranges for each attribute…").
+
+    Attribute order is significant: it is the column order of
+    :class:`~repro.schema.table.Table` rows.
+    """
+
+    def __init__(self, attributes: Iterable[Attribute]):
+        attrs = tuple(attributes)
+        if not attrs:
+            raise ValueError("a schema needs at least one attribute")
+        names = [a.name for a in attrs]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate attribute names: {dupes}")
+        self.attributes: tuple[Attribute, ...] = attrs
+        self._by_name: dict[str, Attribute] = {a.name: a for a in attrs}
+        self._position: dict[str, int] = {a.name: i for i, a in enumerate(attrs)}
+
+    # -- lookup ---------------------------------------------------------
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Attribute names in column order."""
+        return tuple(a.name for a in self.attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        """Return the attribute called *name* (KeyError if absent)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no attribute named {name!r} in schema") from None
+
+    def position(self, name: str) -> int:
+        """Return the column index of attribute *name*."""
+        try:
+            return self._position[name]
+        except KeyError:
+            raise KeyError(f"no attribute named {name!r} in schema") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    # -- filtered views --------------------------------------------------
+
+    def of_kind(self, kind: AttributeKind) -> tuple[Attribute, ...]:
+        """All attributes of the given kind, in column order."""
+        return tuple(a for a in self.attributes if a.kind is kind)
+
+    def ordered_attributes(self) -> tuple[Attribute, ...]:
+        """All attributes whose kind supports ``<`` / ``>`` (numeric, date)."""
+        return tuple(a for a in self.attributes if a.kind.is_ordered)
+
+    # -- validation ------------------------------------------------------
+
+    def validate_record(self, record: Mapping[str, Value]) -> None:
+        """Raise ``ValueError`` if *record* is not a legal row of this schema.
+
+        A legal record maps every schema attribute (and nothing else) to an
+        admissible value.
+        """
+        extra = set(record) - set(self._by_name)
+        if extra:
+            raise ValueError(f"record has unknown attributes: {sorted(extra)}")
+        for attr in self.attributes:
+            if attr.name not in record:
+                raise ValueError(f"record is missing attribute {attr.name!r}")
+            value = record[attr.name]
+            if not attr.admits(value):
+                raise ValueError(
+                    f"value {value!r} is not admissible for attribute {attr.name!r} "
+                    f"({attr.domain!r}, nullable={attr.nullable})"
+                )
+
+    def validate_row(self, row: Sequence[Value]) -> None:
+        """Raise ``ValueError`` if the positional *row* is not legal."""
+        if len(row) != len(self.attributes):
+            raise ValueError(f"row has {len(row)} cells, schema has {len(self.attributes)}")
+        for attr, value in zip(self.attributes, row):
+            if not attr.admits(value):
+                raise ValueError(
+                    f"value {value!r} is not admissible for attribute {attr.name!r} "
+                    f"({attr.domain!r}, nullable={attr.nullable})"
+                )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash(self.attributes)
+
+    def __repr__(self) -> str:
+        return f"Schema([{', '.join(a.name for a in self.attributes)}])"

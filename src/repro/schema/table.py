@@ -1,0 +1,163 @@
+"""In-memory relational tables.
+
+:class:`Table` is the single-relation substrate everything else operates on:
+the test-data generator emits one, the polluters corrupt one, and the data
+auditing tool induces structure from and checks one.
+
+Rows are stored row-major as lists; :class:`Row` is a lightweight read-only
+mapping view used by the TDG logic (atoms address cells by attribute name).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.schema.schema import Schema
+from repro.schema.types import Value
+
+__all__ = ["Row", "Table"]
+
+
+class Row(Mapping[str, Value]):
+    """Read-only mapping view of one table row, keyed by attribute name."""
+
+    __slots__ = ("_schema", "_cells")
+
+    def __init__(self, schema: Schema, cells: Sequence[Value]):
+        self._schema = schema
+        self._cells = cells
+
+    def __getitem__(self, name: str) -> Value:
+        return self._cells[self._schema.position(name)]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._schema.names)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def to_dict(self) -> dict[str, Value]:
+        """Materialize the row as a plain dict."""
+        return dict(zip(self._schema.names, self._cells))
+
+    def __repr__(self) -> str:
+        return f"Row({self.to_dict()!r})"
+
+
+class Table:
+    """A mutable, in-memory relation instance.
+
+    Parameters
+    ----------
+    schema:
+        Column layout and domains.
+    rows:
+        Optional initial rows (positional cell lists/tuples). Rows are
+        stored as mutable lists; pass ``validate=True`` to check every cell
+        against the schema on construction.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        rows: Iterable[Sequence[Value]] = (),
+        *,
+        validate: bool = False,
+    ):
+        self.schema = schema
+        self.rows: list[list[Value]] = [list(r) for r in rows]
+        if validate:
+            for row in self.rows:
+                schema.validate_row(row)
+
+    # -- size --------------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def n_cols(self) -> int:
+        return len(self.schema)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # -- access ------------------------------------------------------------
+
+    def row(self, index: int) -> list[Value]:
+        """The raw (mutable) cell list of row *index*."""
+        return self.rows[index]
+
+    def record(self, index: int) -> Row:
+        """A read-only mapping view of row *index* keyed by attribute name."""
+        return Row(self.schema, self.rows[index])
+
+    def records(self) -> Iterator[Row]:
+        """Iterate mapping views over all rows."""
+        schema = self.schema
+        for cells in self.rows:
+            yield Row(schema, cells)
+
+    def column(self, name: str) -> list[Value]:
+        """Materialize the column *name* as a list (row order)."""
+        pos = self.schema.position(name)
+        return [cells[pos] for cells in self.rows]
+
+    def cell(self, row_index: int, name: str) -> Value:
+        """The value of attribute *name* in row *row_index*."""
+        return self.rows[row_index][self.schema.position(name)]
+
+    def set_cell(self, row_index: int, name: str, value: Value) -> None:
+        """Overwrite a single cell (no validation; polluters rely on this)."""
+        self.rows[row_index][self.schema.position(name)] = value
+
+    # -- mutation ------------------------------------------------------------
+
+    def append(self, row: Sequence[Value] | Mapping[str, Value], *, validate: bool = False) -> None:
+        """Append a row given positionally or as a mapping by attribute name."""
+        if isinstance(row, Mapping):
+            cells = [row[name] for name in self.schema.names]
+        else:
+            cells = list(row)
+        if validate:
+            self.schema.validate_row(cells)
+        self.rows.append(cells)
+
+    def delete_row(self, index: int) -> list[Value]:
+        """Remove and return row *index*."""
+        return self.rows.pop(index)
+
+    # -- copies / slices -----------------------------------------------------
+
+    def copy(self) -> "Table":
+        """Deep-enough copy: fresh row lists over the shared schema."""
+        return Table(self.schema, (list(r) for r in self.rows))
+
+    def head(self, n: int) -> "Table":
+        """A copy containing the first *n* rows."""
+        return Table(self.schema, (list(r) for r in self.rows[:n]))
+
+    def select(self, indices: Iterable[int]) -> "Table":
+        """A copy containing the given row indices, in the given order."""
+        return Table(self.schema, (list(self.rows[i]) for i in indices))
+
+    # -- integrity -------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check every row against the schema (raises on the first violation)."""
+        for i, row in enumerate(self.rows):
+            try:
+                self.schema.validate_row(row)
+            except ValueError as exc:
+                raise ValueError(f"row {i}: {exc}") from None
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Table)
+            and self.schema == other.schema
+            and self.rows == other.rows
+        )
+
+    def __repr__(self) -> str:
+        return f"Table({self.schema!r}, n_rows={self.n_rows})"

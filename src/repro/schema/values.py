@@ -1,0 +1,50 @@
+"""JSON codec for cell values.
+
+Cell values are heterogeneous (strings, ints, floats, dates, null) and —
+after pollution — not necessarily of their column's kind, so serialized
+artifacts (pollution logs, findings exports) tag every value with its
+type instead of relying on the schema.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any
+
+from repro.schema.types import Value
+
+__all__ = ["value_to_json", "value_from_json"]
+
+
+def value_to_json(value: Value) -> Any:
+    """Encode a cell value as a JSON-compatible tagged object."""
+    if value is None:
+        return None
+    if isinstance(value, bool):  # bool is not a cell type; guard anyway
+        raise TypeError("bool is not a supported cell type")
+    if isinstance(value, str):
+        return {"t": "s", "v": value}
+    if isinstance(value, int):
+        return {"t": "i", "v": value}
+    if isinstance(value, float):
+        return {"t": "f", "v": value}
+    if isinstance(value, datetime.date):
+        return {"t": "d", "v": value.isoformat()}
+    raise TypeError(f"unsupported cell type: {type(value).__name__}")
+
+
+def value_from_json(payload: Any) -> Value:
+    """Inverse of :func:`value_to_json`."""
+    if payload is None:
+        return None
+    tag = payload.get("t")
+    raw = payload.get("v")
+    if tag == "s":
+        return str(raw)
+    if tag == "i":
+        return int(raw)
+    if tag == "f":
+        return float(raw)
+    if tag == "d":
+        return datetime.date.fromisoformat(raw)
+    raise ValueError(f"unknown value tag: {tag!r}")

@@ -1,0 +1,49 @@
+"""The test environment (paper sec. 4, fig. 2): metrics, the
+generate→pollute→audit→evaluate pipeline, the figure sweeps, and the
+fig.-1 calibration loop."""
+
+from repro.testenv.calibration import (
+    CalibrationOutcome,
+    Candidate,
+    calibrate,
+    default_candidates,
+)
+from repro.testenv.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    TestEnvironment,
+    run_experiment,
+)
+from repro.testenv.metrics import (
+    ConfusionMatrix,
+    CorrectionMatrix,
+    EvaluationResult,
+    evaluate_audit,
+)
+from repro.testenv.sweeps import (
+    SweepPoint,
+    format_series,
+    sweep_pollution_factor,
+    sweep_records,
+    sweep_rules,
+)
+
+__all__ = [
+    "ConfusionMatrix",
+    "CorrectionMatrix",
+    "EvaluationResult",
+    "evaluate_audit",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "TestEnvironment",
+    "run_experiment",
+    "SweepPoint",
+    "sweep_records",
+    "sweep_rules",
+    "sweep_pollution_factor",
+    "format_series",
+    "Candidate",
+    "CalibrationOutcome",
+    "calibrate",
+    "default_candidates",
+]

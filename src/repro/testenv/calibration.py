@@ -1,0 +1,104 @@
+"""The domain-driven calibration loop of figure 1.
+
+*"Based on this, different data mining-algorithms for structure induction
+and deviation detection can be tested and, if necessary, adjusted. This
+process can be iterated until satisfactory benchmark results are
+obtained."*
+
+:func:`calibrate` plays the role of the data-mining expert in that loop:
+it benchmarks a set of candidate auditing-tool configurations (classifier
+family, interval confidence, minimal error confidence …) on artificial
+test data and ranks them — by default maximizing sensitivity subject to a
+specificity floor, the trade-off sec. 4.3 discusses (screening tools want
+sensitivity, load filters want specificity).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.core.auditor import AuditorConfig
+from repro.testenv.experiment import ExperimentConfig, ExperimentResult, TestEnvironment
+
+__all__ = ["Candidate", "CalibrationOutcome", "calibrate", "default_candidates"]
+
+
+@dataclass
+class Candidate:
+    """One auditing-tool configuration under evaluation."""
+
+    name: str
+    auditor: AuditorConfig
+
+
+@dataclass
+class CalibrationOutcome:
+    """Benchmark results of one candidate."""
+
+    candidate: Candidate
+    result: ExperimentResult
+
+    @property
+    def sensitivity(self) -> float:
+        return self.result.sensitivity
+
+    @property
+    def specificity(self) -> float:
+        return self.result.specificity
+
+    def summary(self) -> str:
+        return (
+            f"{self.candidate.name:<32} sensitivity={self.sensitivity:.3f} "
+            f"specificity={self.specificity:.4f} "
+            f"fit={self.result.fit_seconds:.1f}s audit={self.result.audit_seconds:.1f}s"
+        )
+
+
+def default_candidates(min_error_confidence: float = 0.8) -> list[Candidate]:
+    """A small default grid over the interval confidence level."""
+    from repro.mining.intervals import ConfidenceBounds
+
+    return [
+        Candidate(
+            f"adjusted-C4.5 bounds={confidence:.2f}",
+            AuditorConfig(
+                min_error_confidence=min_error_confidence,
+                bounds=ConfidenceBounds(confidence),
+            ),
+        )
+        for confidence in (0.85, 0.90, 0.95, 0.99)
+    ]
+
+
+def calibrate(
+    candidates: Sequence[Candidate],
+    base: Optional[ExperimentConfig] = None,
+    *,
+    specificity_floor: float = 0.98,
+    environment: Optional[TestEnvironment] = None,
+    score: Optional[Callable[[CalibrationOutcome], float]] = None,
+) -> list[CalibrationOutcome]:
+    """Benchmark every candidate on the same artificial data and rank.
+
+    The default score maximizes sensitivity among candidates meeting the
+    specificity floor; candidates below the floor sort behind all
+    compliant ones (ordered by specificity). Returns outcomes best-first.
+    """
+    base = base or ExperimentConfig()
+    environment = environment or TestEnvironment()
+    outcomes = []
+    for candidate in candidates:
+        config = dataclasses.replace(base, auditor=candidate.auditor)
+        outcomes.append(CalibrationOutcome(candidate, environment.run(config)))
+
+    if score is None:
+
+        def score(outcome: CalibrationOutcome) -> float:
+            if outcome.specificity >= specificity_floor:
+                return 1.0 + outcome.sensitivity
+            return outcome.specificity
+
+    outcomes.sort(key=score, reverse=True)
+    return outcomes

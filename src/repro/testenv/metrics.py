@@ -1,0 +1,257 @@
+"""Performance parameters of the test environment (paper sec. 4.3).
+
+Error detection is summarized in a 2×2 record-level confusion matrix;
+the paper's two headline measures are
+
+* **sensitivity** — the ratio of truly found errors to corrupted records
+  (preferred over recall-terminology because it is independent of the
+  prevalence), and
+* **specificity** — "how many of the error free records have been marked
+  as such", i.e. TN / (TN + FP).
+
+The paper then calls precision "a synonym for specificity", which is
+non-standard (precision is TP / (TP + FP)); both are provided and the
+benches report both (see DESIGN.md).
+
+Correction quality uses the before/after 2×2 matrix and the paper's
+measure ``((c+d) − (b+d)) / (c+d)`` — the relative reduction of the number
+of erroneous cells achieved by applying the proposed corrections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.findings import AuditReport
+from repro.pollution.log import PollutionLog
+from repro.schema.table import Table
+
+__all__ = [
+    "ConfusionMatrix",
+    "CorrectionMatrix",
+    "EvaluationResult",
+    "evaluate_audit",
+]
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Record- or cell-level detection outcome.
+
+    Layout follows the paper: rows = ground truth (incorrect / correct
+    data), columns = tool's opinion (incorrect / correct).
+    """
+
+    true_positive: int
+    false_negative: int
+    false_positive: int
+    true_negative: int
+
+    @property
+    def n_total(self) -> int:
+        return (
+            self.true_positive
+            + self.false_negative
+            + self.false_positive
+            + self.true_negative
+        )
+
+    @property
+    def sensitivity(self) -> float:
+        """TP / (TP + FN) — fraction of corrupted items found."""
+        denominator = self.true_positive + self.false_negative
+        return self.true_positive / denominator if denominator else 0.0
+
+    @property
+    def specificity(self) -> float:
+        """TN / (TN + FP) — fraction of clean items marked clean."""
+        denominator = self.true_negative + self.false_positive
+        return self.true_negative / denominator if denominator else 1.0
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP) — fraction of marks that are real errors."""
+        denominator = self.true_positive + self.false_positive
+        return self.true_positive / denominator if denominator else 1.0
+
+    @property
+    def recall(self) -> float:
+        """Alias of sensitivity (information-retrieval terminology)."""
+        return self.sensitivity
+
+    @property
+    def prevalence(self) -> float:
+        """Fraction of items that are truly corrupted."""
+        total = self.n_total
+        return (self.true_positive + self.false_negative) / total if total else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        total = self.n_total
+        return (self.true_positive + self.true_negative) / total if total else 1.0
+
+    def to_table(self) -> str:
+        """The paper's 2×2 layout as a printable table."""
+        return "\n".join(
+            [
+                "                      tool's opinion",
+                "                      incorrect   correct",
+                f"incorrect data        {self.true_positive:>9d}   {self.false_negative:>7d}",
+                f"correct data          {self.false_positive:>9d}   {self.true_negative:>7d}",
+            ]
+        )
+
+
+@dataclass(frozen=True)
+class CorrectionMatrix:
+    """The paper's before/after-correction 2×2 matrix (cell level):
+
+    ========  ==================  ====================
+    (cells)   after: correct      after: incorrect
+    ========  ==================  ====================
+    before correct     ``a``            ``b``
+    before incorrect   ``c``            ``d``
+    ========  ==================  ====================
+    """
+
+    a: int
+    b: int
+    c: int
+    d: int
+
+    @property
+    def errors_before(self) -> int:
+        return self.c + self.d
+
+    @property
+    def errors_after(self) -> int:
+        return self.b + self.d
+
+    @property
+    def quality(self) -> float:
+        """``((c+d) − (b+d)) / (c+d)`` — relative error reduction.
+
+        Positive values mean the corrections improved the data; negative
+        values mean they degraded it. 0 when nothing was erroneous.
+        """
+        if self.errors_before == 0:
+            return 0.0
+        return (self.errors_before - self.errors_after) / self.errors_before
+
+    def to_table(self) -> str:
+        return "\n".join(
+            [
+                "                      after correction",
+                "                      correct   incorrect",
+                f"before correct        {self.a:>7d}   {self.b:>9d}",
+                f"before incorrect      {self.c:>7d}   {self.d:>9d}",
+            ]
+        )
+
+
+@dataclass
+class EvaluationResult:
+    """Everything the test environment measures for one run."""
+
+    records: ConfusionMatrix
+    cells: ConfusionMatrix
+    correction: CorrectionMatrix
+    n_deleted_rows: int
+
+    @property
+    def sensitivity(self) -> float:
+        return self.records.sensitivity
+
+    @property
+    def specificity(self) -> float:
+        return self.records.specificity
+
+    @property
+    def correction_quality(self) -> float:
+        return self.correction.quality
+
+    def summary(self) -> str:
+        return (
+            f"records: sensitivity={self.records.sensitivity:.3f} "
+            f"specificity={self.records.specificity:.4f} "
+            f"precision={self.records.precision:.3f} | "
+            f"cells: sensitivity={self.cells.sensitivity:.3f} | "
+            f"correction quality={self.correction.quality:+.3f} | "
+            f"deleted rows (undetectable)={self.n_deleted_rows}"
+        )
+
+
+def evaluate_audit(
+    report: AuditReport,
+    log: PollutionLog,
+    clean: Table,
+    dirty: Table,
+    *,
+    corrected: Optional[Table] = None,
+) -> EvaluationResult:
+    """Compare the audit outcome with the pollution ground truth.
+
+    * Record level: a dirty row is *truly incorrect* when the log
+      attributes at least one corruption to it (changed cell or inserted
+      duplicate); it is *marked* when the report flags it at the
+      auditor's minimal error confidence. Deleted rows no longer exist
+      and are reported separately (a record-marking tool cannot flag
+      them).
+    * Cell level: corrupted cells vs. flagged (row, attribute) pairs.
+    * Correction: cells of rows that descend from a clean row are
+      compared before/after applying the report's proposals.
+    """
+    n_rows = dirty.n_rows
+    truth_rows = log.corrupted_rows()
+    flagged_rows = set(report.suspicious_rows())
+    tp = len(truth_rows & flagged_rows)
+    fp = len(flagged_rows - truth_rows)
+    fn = len(truth_rows - flagged_rows)
+    tn = n_rows - tp - fp - fn
+    records = ConfusionMatrix(tp, fn, fp, tn)
+
+    truth_cells = log.corrupted_cells()
+    flagged_cells = {(finding.row, finding.attribute) for finding in report.findings}
+    cell_tp = len(truth_cells & flagged_cells)
+    cell_fp = len(flagged_cells - truth_cells)
+    cell_fn = len(truth_cells - flagged_cells)
+    cell_tn = n_rows * dirty.n_cols - cell_tp - cell_fp - cell_fn
+    cells = ConfusionMatrix(cell_tp, cell_fn, cell_fp, cell_tn)
+
+    if corrected is None:
+        corrected = report.apply_corrections(dirty)
+    correction = _correction_matrix(log, clean, dirty, corrected)
+
+    return EvaluationResult(records, cells, correction, log.n_deleted)
+
+
+def _correction_matrix(
+    log: PollutionLog, clean: Table, dirty: Table, corrected: Table
+) -> CorrectionMatrix:
+    origins = log.row_origins
+    if origins is None:
+        raise ValueError(
+            "pollution log lacks row origins; create it via PollutionPipeline "
+            "(PollutionLog(n_rows)) to evaluate corrections"
+        )
+    a = b = c = d = 0
+    names = clean.schema.names
+    for dirty_index, clean_index in enumerate(origins):
+        if clean_index is None:
+            continue  # inserted duplicates have no clean counterpart
+        clean_row = clean.rows[clean_index]
+        dirty_row = dirty.rows[dirty_index]
+        corrected_row = corrected.rows[dirty_index]
+        for position in range(len(names)):
+            before_ok = dirty_row[position] == clean_row[position]
+            after_ok = corrected_row[position] == clean_row[position]
+            if before_ok and after_ok:
+                a += 1
+            elif before_ok:
+                b += 1
+            elif after_ok:
+                c += 1
+            else:
+                d += 1
+    return CorrectionMatrix(a, b, c, d)

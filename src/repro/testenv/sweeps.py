@@ -1,0 +1,105 @@
+"""Parameter sweeps behind the paper's evaluation figures (sec. 6.1).
+
+Each sweep fixes the base configuration and varies one knob:
+
+* :func:`sweep_records` — figure 3 (sensitivity vs. number of records),
+* :func:`sweep_rules` — figure 4 (sensitivity vs. number of rules),
+* :func:`sweep_pollution_factor` — figure 5 (sensitivity vs. pollution
+  factor).
+
+Results come back as ``(x, ExperimentResult)`` pairs so the benches can
+print sensitivity (the figures), specificity (the sec. 6.1 "about 99 %"
+claim), and correction quality (its reported correlation with
+sensitivity) from a single run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from repro.testenv.experiment import ExperimentConfig, ExperimentResult, TestEnvironment
+
+__all__ = [
+    "SweepPoint",
+    "sweep_records",
+    "sweep_rules",
+    "sweep_pollution_factor",
+    "format_series",
+]
+
+#: One sweep sample: the varied value and the full experiment result.
+SweepPoint = tuple[float, ExperimentResult]
+
+#: Default grids, chosen to show the figures' characteristic shapes at
+#: laptop-scale runtimes (the benches can pass denser grids).
+DEFAULT_RECORD_GRID = (1000, 2000, 4000, 6000, 8000, 10000)
+DEFAULT_RULE_GRID = (0, 25, 50, 100, 150, 200)
+DEFAULT_FACTOR_GRID = (0.5, 1.0, 1.5, 2.0, 3.0, 4.0)
+
+
+def _run_series(
+    environment: TestEnvironment,
+    configs: Sequence[tuple[float, ExperimentConfig]],
+) -> list[SweepPoint]:
+    return [(x, environment.run(config)) for x, config in configs]
+
+
+def sweep_records(
+    record_grid: Sequence[int] = DEFAULT_RECORD_GRID,
+    base: Optional[ExperimentConfig] = None,
+    environment: Optional[TestEnvironment] = None,
+) -> list[SweepPoint]:
+    """Figure 3: influence of the number of records on sensitivity."""
+    base = base or ExperimentConfig()
+    environment = environment or TestEnvironment()
+    configs = [
+        (float(n), dataclasses.replace(base, n_records=int(n))) for n in record_grid
+    ]
+    return _run_series(environment, configs)
+
+
+def sweep_rules(
+    rule_grid: Sequence[int] = DEFAULT_RULE_GRID,
+    base: Optional[ExperimentConfig] = None,
+    environment: Optional[TestEnvironment] = None,
+) -> list[SweepPoint]:
+    """Figure 4: influence of the number of rules (structure strength)."""
+    base = base or ExperimentConfig()
+    environment = environment or TestEnvironment()
+    configs = [
+        (float(n), dataclasses.replace(base, n_rules=int(n))) for n in rule_grid
+    ]
+    return _run_series(environment, configs)
+
+
+def sweep_pollution_factor(
+    factor_grid: Sequence[float] = DEFAULT_FACTOR_GRID,
+    base: Optional[ExperimentConfig] = None,
+    environment: Optional[TestEnvironment] = None,
+) -> list[SweepPoint]:
+    """Figure 5: influence of the common pollution factor."""
+    base = base or ExperimentConfig()
+    environment = environment or TestEnvironment()
+    configs = [
+        (float(f), dataclasses.replace(base, pollution_factor=float(f)))
+        for f in factor_grid
+    ]
+    return _run_series(environment, configs)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    points: Sequence[SweepPoint],
+) -> str:
+    """Render a sweep as the table the paper's figures plot."""
+    lines = [title, f"{x_label:>12}  sensitivity  specificity  precision  corr.quality"]
+    for x, result in points:
+        evaluation = result.evaluation
+        lines.append(
+            f"{x:>12g}  {evaluation.sensitivity:>11.3f}  "
+            f"{evaluation.specificity:>11.4f}  {evaluation.records.precision:>9.3f}  "
+            f"{evaluation.correction_quality:>+12.3f}"
+        )
+    return "\n".join(lines)

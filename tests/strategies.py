@@ -1,0 +1,134 @@
+"""Hypothesis strategies shared by the property-based tests.
+
+Everything is generated against the *tiny* logic schema (two nominal, two
+small integer attributes) so that satisfiability and implication verdicts
+can be cross-checked by brute-force enumeration of all possible records.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from hypothesis import strategies as st
+
+from repro.logic import (
+    And,
+    Atom,
+    Eq,
+    EqAttr,
+    Formula,
+    Gt,
+    GtAttr,
+    IsNotNull,
+    IsNull,
+    Lt,
+    LtAttr,
+    Ne,
+    NeAttr,
+    Or,
+    Rule,
+)
+from repro.schema import Schema, nominal, numeric
+
+#: The schema every generated formula refers to.
+TINY = Schema(
+    [
+        nominal("A", ["a", "b", "c"]),
+        nominal("B", ["x", "y"]),
+        numeric("N", 0, 3, integer=True),
+        numeric("M", 0, 3, integer=True),
+    ]
+)
+
+_NOMINAL = {"A": ["a", "b", "c"], "B": ["x", "y"]}
+_NUMERIC = {"N": [0, 1, 2, 3], "M": [0, 1, 2, 3]}
+_ALL_ATTRS = ["A", "B", "N", "M"]
+
+
+def records() -> st.SearchStrategy[dict]:
+    """Random records over the tiny schema, nulls included."""
+    return st.fixed_dictionaries(
+        {
+            "A": st.sampled_from(["a", "b", "c", None]),
+            "B": st.sampled_from(["x", "y", None]),
+            "N": st.sampled_from([0, 1, 2, 3, None]),
+            "M": st.sampled_from([0, 1, 2, 3, None]),
+        }
+    )
+
+
+def all_records() -> Iterator[dict]:
+    """Exhaustive enumeration of every record over the tiny schema."""
+    for a, b, n, m in itertools.product(
+        ["a", "b", "c", None], ["x", "y", None], [0, 1, 2, 3, None], [0, 1, 2, 3, None]
+    ):
+        yield {"A": a, "B": b, "N": n, "M": m}
+
+
+def propositional_atoms() -> st.SearchStrategy[Atom]:
+    nominal_eq = st.builds(
+        lambda attr, idx: Eq(attr, _NOMINAL[attr][idx % len(_NOMINAL[attr])]),
+        st.sampled_from(["A", "B"]),
+        st.integers(0, 2),
+    )
+    nominal_ne = st.builds(
+        lambda attr, idx: Ne(attr, _NOMINAL[attr][idx % len(_NOMINAL[attr])]),
+        st.sampled_from(["A", "B"]),
+        st.integers(0, 2),
+    )
+    numeric_cmp = st.builds(
+        lambda attr, value, op: op(attr, value),
+        st.sampled_from(["N", "M"]),
+        st.integers(0, 3),
+        st.sampled_from([Eq, Ne, Lt, Gt]),
+    )
+    null_test = st.builds(
+        lambda attr, op: op(attr),
+        st.sampled_from(_ALL_ATTRS),
+        st.sampled_from([IsNull, IsNotNull]),
+    )
+    return st.one_of(nominal_eq, nominal_ne, numeric_cmp, null_test)
+
+
+def relational_atoms() -> st.SearchStrategy[Atom]:
+    nominal_rel = st.builds(
+        lambda op: op("A", "B"), st.sampled_from([EqAttr, NeAttr])
+    )
+    numeric_rel = st.builds(
+        lambda op, flip: op("M", "N") if flip else op("N", "M"),
+        st.sampled_from([EqAttr, NeAttr, LtAttr, GtAttr]),
+        st.booleans(),
+    )
+    return st.one_of(nominal_rel, numeric_rel)
+
+
+def atoms() -> st.SearchStrategy[Atom]:
+    """Random atomic TDG-formulae over the tiny schema."""
+    return st.one_of(propositional_atoms(), relational_atoms())
+
+
+def _connect(children: st.SearchStrategy[Formula]) -> st.SearchStrategy[Formula]:
+    parts = st.lists(children, min_size=2, max_size=3)
+
+    def build(kind_and_parts):
+        kind, part_list = kind_and_parts
+        distinct = []
+        for part in part_list:
+            if part not in distinct:
+                distinct.append(part)
+        if len(distinct) < 2:
+            return distinct[0]
+        return And(*distinct) if kind == "and" else Or(*distinct)
+
+    return st.tuples(st.sampled_from(["and", "or"]), parts).map(build)
+
+
+def formulas(max_depth: int = 3) -> st.SearchStrategy[Formula]:
+    """Random TDG-formulae of bounded nesting depth."""
+    return st.recursive(atoms(), _connect, max_leaves=6)
+
+
+def rules() -> st.SearchStrategy[Rule]:
+    """Random (not necessarily natural) TDG-rules."""
+    return st.builds(Rule, formulas(), formulas())

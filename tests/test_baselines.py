@@ -1,0 +1,205 @@
+"""Tests for the related-work baselines (Apriori/Hipp and LOF)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AprioriMiner,
+    AssociationRuleAuditor,
+    LofAuditor,
+    lof_scores,
+)
+from repro.schema import Schema, Table, nominal, numeric
+
+
+def _dependency_table(n=800, seed=3, noise=0.0):
+    rng = random.Random(seed)
+    rule = {"a": "x", "b": "y", "c": "z"}
+    rows = []
+    for _ in range(n):
+        a = rng.choice(["a", "b", "c"])
+        b = rule[a] if rng.random() >= noise else rng.choice(["x", "y", "z"])
+        rows.append([a, b, rng.choice(["p", "q"]), rng.randint(0, 100)])
+    schema = Schema(
+        [
+            nominal("A", ["a", "b", "c"]),
+            nominal("B", ["x", "y", "z"]),
+            nominal("C", ["p", "q"]),
+            numeric("N", 0, 100, integer=True),
+        ]
+    )
+    return Table(schema, rows)
+
+
+class TestAprioriMiner:
+    def test_finds_functional_dependency_rules(self):
+        table = _dependency_table()
+        miner = AprioriMiner(min_support=0.05, min_confidence=0.95)
+        rules = miner.rules(miner.transactions_of(table))
+        as_text = {str(r).split(" [")[0] for r in rules}
+        assert "A = a → B = x" in as_text
+        assert "B = y → A = b" in as_text
+
+    def test_support_threshold_prunes(self):
+        table = _dependency_table()
+        strict = AprioriMiner(min_support=0.9, min_confidence=0.5)
+        assert strict.rules(strict.transactions_of(table)) == []
+
+    def test_confidence_values_correct(self):
+        # manual 4-row table: A=a → B=x holds 2/3 of the time
+        schema = Schema([nominal("A", ["a", "b"]), nominal("B", ["x", "y"])])
+        table = Table(schema, [["a", "x"], ["a", "x"], ["a", "y"], ["b", "y"]])
+        miner = AprioriMiner(min_support=0.25, min_confidence=0.5)
+        rules = miner.rules(miner.transactions_of(table))
+        rule = next(
+            r
+            for r in rules
+            if r.premise == frozenset({("A", "a")}) and r.consequent == ("B", "x")
+        )
+        assert rule.confidence == pytest.approx(2 / 3)
+        assert rule.support == 2
+
+    def test_numeric_attributes_ignored(self):
+        table = _dependency_table()
+        miner = AprioriMiner(min_support=0.01, min_confidence=0.5)
+        transactions = miner.transactions_of(table)
+        assert all("N" not in t for t in transactions)
+
+    def test_nulls_skipped(self):
+        schema = Schema([nominal("A", ["a"]), nominal("B", ["x"])])
+        table = Table(schema, [["a", None], [None, "x"]])
+        transactions = AprioriMiner().transactions_of(table)
+        assert transactions == [{"A": "a"}, {"B": "x"}]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            AprioriMiner(min_support=0.0)
+        with pytest.raises(ValueError):
+            AprioriMiner(min_confidence=1.5)
+        with pytest.raises(ValueError):
+            AprioriMiner(max_itemset_size=1)
+
+    def test_itemsets_never_repeat_attribute(self):
+        table = _dependency_table()
+        miner = AprioriMiner(min_support=0.02, min_confidence=0.5)
+        for itemset in miner.frequent_itemsets(miner.transactions_of(table)):
+            attributes = [a for a, _ in itemset]
+            assert len(set(attributes)) == len(attributes)
+
+
+class TestAssociationRuleAuditor:
+    def test_detects_dependency_violation(self):
+        table = _dependency_table()
+        auditor = AssociationRuleAuditor(
+            table.schema, miner=AprioriMiner(min_support=0.05, min_confidence=0.95)
+        ).fit(table)
+        dirty = table.copy()
+        row = next(i for i in range(dirty.n_rows) if dirty.cell(i, "A") == "a")
+        dirty.set_cell(row, "B", "y")
+        report = auditor.audit(dirty)
+        assert report.is_flagged(row)
+        # the violated rules propose consistent repairs in either direction:
+        # fix B back to x (from A=a → B=x) or relabel A to b (from B=y → A=b)
+        proposals = {
+            (finding.attribute, finding.proposal)
+            for finding in report.findings_for_row(row)
+        }
+        assert proposals <= {("B", "x"), ("A", "b")}
+        assert proposals
+
+    def test_additive_score_capped_in_report(self):
+        table = _dependency_table()
+        auditor = AssociationRuleAuditor(table.schema).fit(table)
+        dirty = table.copy()
+        dirty.set_cell(0, "B", "z" if dirty.cell(0, "B") != "z" else "x")
+        report = auditor.audit(dirty)
+        assert all(0.0 <= c <= 1.0 for c in report.record_confidence)
+
+    def test_unfitted_raises(self):
+        table = _dependency_table()
+        with pytest.raises(RuntimeError):
+            AssociationRuleAuditor(table.schema).audit(table)
+
+    def test_numeric_corruption_invisible(self):
+        # the paper's criticism: numeric dependencies are not modeled
+        table = _dependency_table()
+        auditor = AssociationRuleAuditor(table.schema).fit(table)
+        dirty = table.copy()
+        dirty.set_cell(5, "N", 0)
+        report = auditor.audit(dirty)
+        assert not report.is_flagged(5)
+
+
+class TestLof:
+    def test_clear_numeric_outlier_scores_high(self):
+        schema = Schema([numeric("X", 0, 1000), numeric("Y", 0, 1000)])
+        rng = random.Random(4)
+        rows = [[rng.uniform(0, 10), rng.uniform(0, 10)] for _ in range(150)]
+        rows.append([900.0, 900.0])
+        table = Table(schema, rows)
+        scores = lof_scores(table, k=8)
+        assert int(np.argmax(scores)) == 150
+        assert scores[150] > 2.0
+
+    def test_uniform_cluster_scores_near_one(self):
+        schema = Schema([numeric("X", 0, 1)])
+        rng = random.Random(5)
+        table = Table(schema, [[rng.uniform(0, 1)] for _ in range(200)])
+        scores = lof_scores(table, k=10)
+        assert np.median(scores) == pytest.approx(1.0, abs=0.3)
+
+    def test_tiny_table_degenerates_gracefully(self):
+        schema = Schema([numeric("X", 0, 1)])
+        table = Table(schema, [[0.1], [0.2]])
+        assert (lof_scores(table, k=5) == 1.0).all()
+
+    def test_invalid_k(self):
+        schema = Schema([numeric("X", 0, 1)])
+        with pytest.raises(ValueError):
+            lof_scores(Table(schema, [[0.1]] * 10), k=0)
+
+    def test_auditor_interface(self):
+        schema = Schema([numeric("X", 0, 1000), numeric("Y", 0, 1000)])
+        rng = random.Random(6)
+        rows = [[rng.uniform(0, 10), rng.uniform(0, 10)] for _ in range(150)]
+        rows.append([950.0, 950.0])
+        table = Table(schema, rows)
+        auditor = LofAuditor(schema, k=8, threshold=1.5)
+        report = auditor.fit(table).audit(table)
+        assert report.is_flagged(150)
+        assert all(0.0 <= c <= 1.0 for c in report.record_confidence)
+
+    def test_subsampling_keeps_report_size(self):
+        schema = Schema([numeric("X", 0, 1)])
+        rng = random.Random(7)
+        table = Table(schema, [[rng.uniform(0, 1)] for _ in range(300)])
+        auditor = LofAuditor(schema, k=5, max_rows=100)
+        report = auditor.fit(table).audit(table)
+        assert report.n_rows == 300
+
+    def test_rarity_confounded_with_error_on_nominal_data(self):
+        """The paper's sec.-7 point, demonstrated: on mostly-nominal data
+        LOF cannot distinguish a *corrupted* record from a *legitimately
+        rare* one — both are simply far from the dense value clusters."""
+        rule = {"a": "x", "b": "y", "c": "z"}
+        table = _dependency_table(n=400, noise=0.03)  # 3 % legit exceptions
+        dirty = table.copy()
+        row = next(
+            i
+            for i in range(dirty.n_rows)
+            if dirty.cell(i, "A") == "a" and dirty.cell(i, "B") == "x"
+        )
+        dirty.set_cell(row, "B", "y")  # a genuine corruption
+        scores = lof_scores(dirty, k=10)
+        legit_rare = [
+            i
+            for i in range(table.n_rows)
+            if table.cell(i, "B") != rule[table.cell(i, "A")] and i != row
+        ]
+        assert legit_rare
+        # the corrupted record's score sits inside the legit-rare range —
+        # no threshold separates error from rarity
+        assert scores[row] <= max(scores[i] for i in legit_rare) * 1.5
+        assert max(scores[i] for i in legit_rare) > np.median(scores) * 3

@@ -1,0 +1,237 @@
+"""Tests for the command-line interface (full shell pipeline)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.schema.serialize import schema_from_dict
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    return {
+        "schema": tmp_path / "schema.json",
+        "clean": tmp_path / "clean.csv",
+        "dirty": tmp_path / "dirty.csv",
+        "log": tmp_path / "log.json",
+        "model": tmp_path / "model.json",
+        "findings": tmp_path / "findings.csv",
+    }
+
+
+def _generate(workspace, records=600, rules=25):
+    code = main(
+        [
+            "generate",
+            "--records",
+            str(records),
+            "--rules",
+            str(rules),
+            "--seed",
+            "42",
+            "--out",
+            str(workspace["clean"]),
+            "--schema-out",
+            str(workspace["schema"]),
+        ]
+    )
+    assert code == 0
+
+
+class TestSchemaCommand:
+    def test_base_schema(self, tmp_path, capsys):
+        out = tmp_path / "schema.json"
+        assert main(["schema", "--kind", "base", "--out", str(out)]) == 0
+        schema = schema_from_dict(json.loads(out.read_text()))
+        assert len(schema) == 8
+        assert "wrote base schema" in capsys.readouterr().out
+
+    def test_quis_schema(self, tmp_path):
+        out = tmp_path / "quis.json"
+        assert main(["schema", "--kind", "quis", "--out", str(out)]) == 0
+        schema = schema_from_dict(json.loads(out.read_text()))
+        assert "BRV" in schema
+
+
+class TestPipeline:
+    def test_generate_writes_csv_and_schema(self, workspace, capsys):
+        _generate(workspace)
+        assert workspace["clean"].exists() and workspace["schema"].exists()
+        header = workspace["clean"].read_text().splitlines()[0]
+        assert "C1" in header and "QTY" in header
+        assert "generated 600 records" in capsys.readouterr().out
+
+    def test_full_pipeline(self, workspace, capsys):
+        _generate(workspace)
+        assert (
+            main(
+                [
+                    "pollute",
+                    "--schema",
+                    str(workspace["schema"]),
+                    "--input",
+                    str(workspace["clean"]),
+                    "--output",
+                    str(workspace["dirty"]),
+                    "--log-out",
+                    str(workspace["log"]),
+                    "--factor",
+                    "1.5",
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "fit",
+                    "--schema",
+                    str(workspace["schema"]),
+                    "--input",
+                    str(workspace["dirty"]),
+                    "--model-out",
+                    str(workspace["model"]),
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "audit",
+                    "--model",
+                    str(workspace["model"]),
+                    "--input",
+                    str(workspace["dirty"]),
+                    "--findings-out",
+                    str(workspace["findings"]),
+                    "--top",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "evaluate",
+                    "--schema",
+                    str(workspace["schema"]),
+                    "--clean",
+                    str(workspace["clean"]),
+                    "--dirty",
+                    str(workspace["dirty"]),
+                    "--log",
+                    str(workspace["log"]),
+                    "--model",
+                    str(workspace["model"]),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "cell changes" in output
+        assert "induced structure model" in output
+        assert "suspicious" in output
+        assert "sensitivity=" in output
+        # findings CSV has a header plus data rows
+        lines = workspace["findings"].read_text().splitlines()
+        assert lines[0].startswith("row,attribute,observed")
+
+    def test_audit_prints_ranked_findings(self, workspace, capsys):
+        _generate(workspace)
+        main(
+            [
+                "pollute",
+                "--schema",
+                str(workspace["schema"]),
+                "--input",
+                str(workspace["clean"]),
+                "--output",
+                str(workspace["dirty"]),
+            ]
+        )
+        main(
+            [
+                "fit",
+                "--schema",
+                str(workspace["schema"]),
+                "--input",
+                str(workspace["dirty"]),
+                "--model-out",
+                str(workspace["model"]),
+            ]
+        )
+        capsys.readouterr()
+        main(
+            [
+                "audit",
+                "--model",
+                str(workspace["model"]),
+                "--input",
+                str(workspace["dirty"]),
+                "--top",
+                "2",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert "audited" in output
+
+    def test_generate_with_custom_rules(self, workspace, tmp_path, capsys):
+        # author a schema + rule file by hand, generate against them
+        assert main(["schema", "--kind", "quis", "--out", str(workspace["schema"])]) == 0
+        rules_file = tmp_path / "rules.txt"
+        rules_file.write_text(
+            "# QUIS dependencies (paper sec. 6.2)\n"
+            "BRV = '404' -> GBM = '901'\n"
+            "KBM = '01' ∧ GBM = '901' → BRV = '501'\n"
+        )
+        assert (
+            main(
+                [
+                    "generate",
+                    "--records",
+                    "200",
+                    "--schema",
+                    str(workspace["schema"]),
+                    "--rules-file",
+                    str(rules_file),
+                    "--out",
+                    str(workspace["clean"]),
+                ]
+            )
+            == 0
+        )
+        assert "over 2 rules" in capsys.readouterr().out
+        # the generated data satisfies the hand-written rules
+        from repro.logic.parse import parse_rules
+        from repro.schema.serialize import schema_from_dict
+
+        schema = schema_from_dict(json.loads(workspace["schema"].read_text()))
+        rules = parse_rules(rules_file.read_text(), schema)
+        from repro.schema import read_csv
+
+        table = read_csv(schema, workspace["clean"])
+        for record in table.records():
+            assert all(rule.satisfied_by(record) for rule in rules)
+
+    def test_generate_schema_without_rules_rejected(self, workspace):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "generate",
+                    "--schema",
+                    str(workspace["schema"]),
+                    "--out",
+                    str(workspace["clean"]),
+                ]
+            )
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["no-such-command"])
+
+    def test_missing_required_argument(self):
+        with pytest.raises(SystemExit):
+            main(["fit", "--schema", "x.json"])

@@ -1,0 +1,206 @@
+"""Tests for the data auditing tool (multiple classification / regression,
+findings, corrections, persistence)."""
+
+import json
+import random
+
+import pytest
+
+from repro.core import (
+    AuditorConfig,
+    DataAuditor,
+    auditor_from_dict,
+    auditor_to_dict,
+    load_auditor,
+    record_error_confidence,
+    save_auditor,
+)
+from repro.mining import KnnClassifier
+from repro.schema import Schema, Table, nominal, numeric
+
+
+def _structured_table(n=1500, seed=20):
+    """A = model series, B = engine code (functionally dependent), N noise."""
+    rng = random.Random(seed)
+    rule = {"a": "x", "b": "y", "c": "z"}
+    rows = []
+    for _ in range(n):
+        a = rng.choice(["a", "b", "c"])
+        rows.append([a, rule[a], rng.randint(0, 100)])
+    schema = Schema(
+        [
+            nominal("A", ["a", "b", "c"]),
+            nominal("B", ["x", "y", "z"]),
+            numeric("N", 0, 100, integer=True),
+        ]
+    )
+    return Table(schema, rows)
+
+
+@pytest.fixture
+def table():
+    return _structured_table()
+
+
+@pytest.fixture
+def auditor(table):
+    return DataAuditor(table.schema, AuditorConfig(min_error_confidence=0.8)).fit(table)
+
+
+class TestConfig:
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            AuditorConfig(min_error_confidence=0.0)
+        with pytest.raises(ValueError):
+            AuditorConfig(min_error_confidence=1.0)
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            AuditorConfig(n_bins=1)
+
+    def test_base_attribute_override(self, table):
+        config = AuditorConfig(base_attributes={"B": ["A"]})
+        auditor = DataAuditor(table.schema, config)
+        assert auditor.base_attributes_for("B") == ["A"]
+        assert auditor.base_attributes_for("A") == ["B", "N"]
+
+    def test_audited_attributes_restriction(self, table):
+        config = AuditorConfig(audited_attributes=["B"])
+        auditor = DataAuditor(table.schema, config).fit(table)
+        assert list(auditor.classifiers) == ["B"]
+
+
+class TestFitAudit:
+    def test_clean_table_mostly_unflagged(self, auditor, table):
+        report = auditor.audit(table)
+        assert report.n_suspicious <= table.n_rows * 0.01
+
+    def test_seeded_error_found_and_ranked_first(self, auditor, table):
+        dirty = table.copy()
+        # break the functional dependency in one record
+        row = next(i for i in range(dirty.n_rows) if dirty.cell(i, "A") == "a")
+        dirty.set_cell(row, "B", "y")
+        report = auditor.audit(dirty)
+        assert report.is_flagged(row)
+        assert report.suspicious_rows()[0] == row
+        top = report.ranked_findings(1)[0]
+        assert top.row == row
+        assert top.confidence > 0.95
+
+    def test_record_confidence_is_max_over_classifiers(self, auditor, table):
+        dirty = table.copy()
+        row = 0
+        dirty.set_cell(row, "B", "z" if dirty.cell(row, "B") != "z" else "x")
+        report = auditor.audit(dirty)
+        row_findings = report.findings_for_row(row)
+        assert row_findings
+        assert report.record_confidence[row] == pytest.approx(
+            record_error_confidence(f.confidence for f in row_findings), abs=1e-9
+        )
+
+    def test_unexpected_null_flagged(self, auditor, table):
+        dirty = table.copy()
+        dirty.set_cell(3, "B", None)
+        report = auditor.audit(dirty)
+        assert report.is_flagged(3)
+        finding = report.findings_for_row(3)[0]
+        assert finding.observed_label == "<null>"
+
+    def test_out_of_domain_value_flagged(self, auditor, table):
+        dirty = table.copy()
+        dirty.set_cell(5, "B", "COMPLETELY_WRONG")
+        report = auditor.audit(dirty)
+        assert report.is_flagged(5)
+
+    def test_unfitted_audit_raises(self, table):
+        with pytest.raises(RuntimeError):
+            DataAuditor(table.schema).audit(table)
+
+    def test_schema_mismatch_rejected(self, auditor):
+        other = Table(Schema([nominal("Z", ["1"])]), [["1"]])
+        with pytest.raises(ValueError):
+            auditor.audit(other)
+        with pytest.raises(ValueError):
+            DataAuditor(auditor.schema).fit(other)
+
+    def test_audit_fresh_table(self, auditor):
+        # separate training and audit data (the paper's closing demand)
+        fresh = _structured_table(seed=99)
+        fresh.set_cell(7, "B", "x" if fresh.cell(7, "B") != "x" else "y")
+        report = auditor.audit(fresh)
+        assert report.is_flagged(7)
+
+
+class TestCorrections:
+    def test_correction_restores_consistency(self, auditor, table):
+        dirty = table.copy()
+        row = next(i for i in range(dirty.n_rows) if dirty.cell(i, "A") == "b")
+        dirty.set_cell(row, "B", "x")
+        report = auditor.audit(dirty)
+        corrections = [c for c in report.corrections() if c.row == row]
+        assert corrections
+        # the classifier with the highest confidence proposes the repair;
+        # both directions make the record consistent (A=b→B=y or B=x→A=a)
+        best = corrections[0]
+        assert (best.attribute, best.new_value) in {("B", "y"), ("A", "a")}
+
+    def test_apply_corrections(self, auditor, table):
+        dirty = table.copy()
+        row = next(i for i in range(dirty.n_rows) if dirty.cell(i, "A") == "c")
+        dirty.set_cell(row, "B", "x")
+        report = auditor.audit(dirty)
+        repaired = report.apply_corrections(dirty)
+        # the repaired record is consistent with the dependency again
+        rule = {"a": "x", "b": "y", "c": "z"}
+        assert repaired.cell(row, "B") == rule[repaired.cell(row, "A")]
+        # untouched rows stay identical
+        assert repaired.rows[row + 1] == dirty.rows[row + 1]
+
+    def test_one_correction_per_record(self, auditor, table):
+        dirty = table.copy()
+        dirty.set_cell(1, "B", "x" if dirty.cell(1, "B") != "x" else "y")
+        report = auditor.audit(dirty)
+        rows = [c.row for c in report.corrections()]
+        assert len(rows) == len(set(rows))
+
+
+class TestStructureModel:
+    def test_rules_present_for_dependent_attribute(self, auditor):
+        model = auditor.structure_model()
+        assert "B" in model
+        assert len(model["B"]) >= 3
+
+    def test_describe_structure_mentions_rules(self, auditor):
+        text = auditor.describe_structure()
+        assert "classifier for B" in text
+        assert "→" in text
+
+
+class TestPersistence:
+    def test_dict_roundtrip_preserves_findings(self, auditor, table):
+        dirty = table.copy()
+        dirty.set_cell(2, "B", "x" if dirty.cell(2, "B") != "x" else "z")
+        payload = json.loads(json.dumps(auditor_to_dict(auditor)))
+        clone = auditor_from_dict(payload)
+        original = auditor.audit(dirty)
+        restored = clone.audit(dirty)
+        assert len(original.findings) == len(restored.findings)
+        for a, b in zip(original.findings, restored.findings):
+            assert a.row == b.row and a.attribute == b.attribute
+            assert a.confidence == pytest.approx(b.confidence)
+
+    def test_file_roundtrip(self, auditor, table, tmp_path):
+        path = tmp_path / "model.json"
+        save_auditor(auditor, path)
+        clone = load_auditor(path)
+        assert set(clone.classifiers) == set(auditor.classifiers)
+
+    def test_unsupported_classifier_rejected(self, table):
+        config = AuditorConfig(classifier_factory=lambda cfg: KnnClassifier())
+        auditor = DataAuditor(table.schema, config).fit(table)
+        with pytest.raises(TypeError):
+            auditor_to_dict(auditor)
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError):
+            auditor_from_dict({"format": "something-else"})

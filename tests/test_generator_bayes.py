@@ -1,0 +1,139 @@
+"""Tests for the Bayesian-network multivariate start distributions."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.generator import BayesianNetwork
+from repro.schema import Schema, Table, nominal, numeric
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [
+            nominal("X", ["x0", "x1"]),
+            nominal("Y", ["y0", "y1"]),
+            nominal("Z", ["z0", "z1", "z2"]),
+            numeric("N", 0, 10),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_cycle_rejected(self, schema):
+        with pytest.raises(ValueError, match="cycle"):
+            BayesianNetwork(schema, {"X": ["Y"], "Y": ["X"]})
+
+    def test_non_nominal_node_rejected(self, schema):
+        with pytest.raises(ValueError, match="nominal"):
+            BayesianNetwork(schema, {"N": []})
+
+    def test_parent_must_be_node(self, schema):
+        with pytest.raises(ValueError, match="not itself a node"):
+            BayesianNetwork(schema, {"X": ["Y"]})
+
+    def test_unknown_cpt_value_rejected(self, schema):
+        with pytest.raises(ValueError, match="unknown value"):
+            BayesianNetwork(schema, {"X": []}, {"X": {(): {"nope": 1.0}}})
+
+    def test_negative_weight_rejected(self, schema):
+        with pytest.raises(ValueError, match="negative"):
+            BayesianNetwork(schema, {"X": []}, {"X": {(): {"x0": -1.0}}})
+
+    def test_all_zero_row_rejected(self, schema):
+        with pytest.raises(ValueError, match="no positive weight"):
+            BayesianNetwork(schema, {"X": []}, {"X": {(): {"x0": 0.0}}})
+
+    def test_nodes_in_topological_order(self, schema):
+        net = BayesianNetwork(schema, {"Z": ["X", "Y"], "X": [], "Y": ["X"]})
+        order = net.nodes
+        assert order.index("X") < order.index("Y") < order.index("Z")
+
+
+class TestSampling:
+    def test_marginal_follows_cpt(self, schema):
+        net = BayesianNetwork(schema, {"X": []}, {"X": {(): {"x0": 9.0, "x1": 1.0}}})
+        rng = random.Random(1)
+        counts = Counter(net.sample(rng)["X"] for _ in range(2000))
+        assert counts["x0"] > counts["x1"] * 4
+
+    def test_conditional_dependency(self, schema):
+        net = BayesianNetwork(
+            schema,
+            {"X": [], "Y": ["X"]},
+            {
+                "X": {(): {"x0": 1.0, "x1": 1.0}},
+                "Y": {
+                    ("x0",): {"y0": 1.0, "y1": 0.0},
+                    ("x1",): {"y0": 0.0, "y1": 1.0},
+                },
+            },
+        )
+        rng = random.Random(2)
+        for _ in range(300):
+            record = net.sample(rng)
+            expected = "y0" if record["X"] == "x0" else "y1"
+            assert record["Y"] == expected
+
+    def test_missing_row_falls_back_to_uniform(self, schema):
+        net = BayesianNetwork(schema, {"X": [], "Y": ["X"]})
+        distribution = net.row_distribution("Y", ("x0",))
+        assert distribution == {"y0": 0.5, "y1": 0.5}
+
+    def test_sample_covers_all_nodes(self, schema):
+        net = BayesianNetwork(schema, {"X": [], "Y": ["X"], "Z": ["Y"]})
+        record = net.sample(random.Random(3))
+        assert set(record) == {"X", "Y", "Z"}
+
+
+class TestRandomNetwork:
+    def test_respects_max_parents(self, schema):
+        rng = random.Random(4)
+        net = BayesianNetwork.random(schema, ["X", "Y", "Z"], rng, max_parents=1)
+        assert all(len(net.parents(n)) <= 1 for n in net.nodes)
+
+    def test_samples_are_valid(self, schema):
+        rng = random.Random(5)
+        net = BayesianNetwork.random(schema, ["X", "Y", "Z"], rng)
+        for _ in range(100):
+            record = net.sample(rng)
+            assert record["X"] in ("x0", "x1")
+            assert record["Z"] in ("z0", "z1", "z2")
+
+    def test_deterministic_in_seed(self, schema):
+        net1 = BayesianNetwork.random(schema, ["X", "Y", "Z"], random.Random(6))
+        net2 = BayesianNetwork.random(schema, ["X", "Y", "Z"], random.Random(6))
+        samples1 = [net1.sample(random.Random(7)) for _ in range(20)]
+        samples2 = [net2.sample(random.Random(7)) for _ in range(20)]
+        assert samples1 == samples2
+
+    def test_invalid_concentration(self, schema):
+        with pytest.raises(ValueError):
+            BayesianNetwork.random(schema, ["X"], random.Random(0), concentration=0)
+
+
+class TestFit:
+    def test_recovers_strong_dependency(self, schema):
+        rows = []
+        rng = random.Random(8)
+        for _ in range(500):
+            x = "x0" if rng.random() < 0.5 else "x1"
+            y = "y0" if x == "x0" else "y1"
+            rows.append([x, y, "z0", 1.0])
+        table = Table(schema, rows)
+        net = BayesianNetwork.fit(schema, {"X": [], "Y": ["X"]}, table, smoothing=0.1)
+        dist = net.row_distribution("Y", ("x0",))
+        assert dist["y0"] > 0.95
+
+    def test_null_rows_skipped(self, schema):
+        table = Table(schema, [[None, "y0", "z0", 1.0], ["x0", "y1", "z0", 1.0]])
+        net = BayesianNetwork.fit(schema, {"X": [], "Y": ["X"]}, table, smoothing=1.0)
+        # only the non-null X row contributes to Y's CPT
+        dist = net.row_distribution("Y", ("x0",))
+        assert dist["y1"] > dist["y0"]
+
+    def test_negative_smoothing_rejected(self, schema):
+        with pytest.raises(ValueError):
+            BayesianNetwork.fit(schema, {"X": []}, Table(schema), smoothing=-1)

@@ -1,0 +1,118 @@
+"""Pinning tests for the generator calibrations documented in DESIGN.md:
+the Bayesian-network skew cap and the rule-coverage estimates. These
+behaviours keep the benchmark data inside the paper's operating band
+(specificity ≈ 99 %), so regressions here silently distort every figure."""
+
+import random
+
+import pytest
+
+from repro.generator import BayesianNetwork, RuleGenerationConfig, base_profile
+from repro.generator.rulegen import RuleGenerator
+from repro.logic import And, Eq, Gt, IsNull, Lt, Ne, Or
+from repro.schema import Schema, nominal, numeric
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [
+            nominal("X", [f"x{i}" for i in range(5)]),
+            nominal("Y", [f"y{i}" for i in range(8)]),
+            numeric("N", 0, 100, integer=True),
+        ]
+    )
+
+
+class TestBayesCap:
+    def test_row_probabilities_capped(self, schema):
+        rng = random.Random(1)
+        net = BayesianNetwork.random(
+            schema, ["X", "Y"], rng, concentration=0.1, max_row_probability=0.7
+        )
+        for name in net.nodes:
+            parents = net.parents(name)
+            # enumerate a few parent combinations
+            combos = [()] if not parents else [
+                (value,) for value in schema.attribute(parents[0]).domain.values
+            ]
+            for combo in combos:
+                distribution = net.row_distribution(name, combo)
+                assert max(distribution.values()) <= 0.7 + 1e-9
+
+    def test_cap_below_uniform_yields_uniform(self, schema):
+        rng = random.Random(2)
+        net = BayesianNetwork.random(
+            schema, ["X"], rng, max_row_probability=0.05
+        )
+        distribution = net.row_distribution("X", ())
+        assert max(distribution.values()) == pytest.approx(0.2, abs=1e-9)
+
+    def test_invalid_cap(self, schema):
+        with pytest.raises(ValueError):
+            BayesianNetwork.random(
+                schema, ["X"], random.Random(3), max_row_probability=0.0
+            )
+
+
+class TestCoverageEstimates:
+    def test_atom_estimates(self, schema):
+        generator = RuleGenerator(schema)
+        assert generator._atom_coverage(Eq("X", "x0")) == pytest.approx(0.2)
+        assert generator._atom_coverage(Ne("X", "x0")) == pytest.approx(0.8)
+        assert generator._atom_coverage(Lt("N", 25)) == pytest.approx(0.25)
+        assert generator._atom_coverage(Gt("N", 75)) == pytest.approx(0.25)
+        assert generator._atom_coverage(IsNull("X")) == pytest.approx(0.05)
+
+    def test_conjunction_multiplies_disjunction_adds(self, schema):
+        generator = RuleGenerator(schema)
+        conj = And(Eq("X", "x0"), Lt("N", 50))
+        disj = Or(Eq("X", "x0"), Eq("Y", "y0"))
+        assert generator._formula_coverage(conj) == pytest.approx(0.2 * 0.5)
+        assert generator._formula_coverage(disj) == pytest.approx(0.2 + 0.125)
+
+    def test_generated_premises_respect_cap(self, schema):
+        config = RuleGenerationConfig(max_premise_coverage=0.25)
+        generator = RuleGenerator(schema, config)
+        rules = generator.generate(20, random.Random(4))
+        for rule in rules:
+            assert generator._formula_coverage(rule.premise) <= 0.25 + 1e-9
+
+    def test_pinned_coverage_bounds_value_pressure(self, schema):
+        config = RuleGenerationConfig(max_pinned_coverage=0.3)
+        generator = RuleGenerator(schema, config)
+        rules = generator.generate(40, random.Random(5))
+        pressure: dict[tuple[str, str], float] = {}
+        for rule in rules:
+            coverage = generator._formula_coverage(rule.premise)
+            for pin in generator._pinned_values(rule.consequence):
+                pressure[pin] = pressure.get(pin, 0.0) + coverage
+        assert all(total <= 0.3 + 1e-9 for total in pressure.values())
+
+    def test_invalid_caps(self):
+        with pytest.raises(ValueError):
+            RuleGenerationConfig(max_premise_coverage=0.0)
+        with pytest.raises(ValueError):
+            RuleGenerationConfig(max_pinned_coverage=1.5)
+        with pytest.raises(ValueError):
+            RuleGenerationConfig(min_premise_atoms=3, max_premise_atoms=2)
+
+
+class TestProfileOperatingBand:
+    def test_base_profile_marginals_not_degenerate(self):
+        """The end-to-end guard: base-profile data must not contain
+        near-degenerate marginals whose legitimate minorities would flood
+        audits with false positives (see DESIGN.md)."""
+        import collections
+
+        from repro.schema import AttributeKind
+
+        profile = base_profile(n_rules=60, seed=42)
+        generator = profile.build_generator()
+        table = generator.generate(3000, random.Random(6))
+        for attribute in profile.schema.of_kind(AttributeKind.NOMINAL):
+            counts = collections.Counter(
+                v for v in table.column(attribute.name) if v is not None
+            )
+            top_share = counts.most_common(1)[0][1] / max(sum(counts.values()), 1)
+            assert top_share < 0.85, f"{attribute.name} marginal collapsed: {top_share:.2f}"

@@ -1,0 +1,98 @@
+"""Tests for Chow–Liu structure learning (the automated domain-analysis
+helper of the fig.-1 workflow)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.generator import BayesianNetwork
+from repro.schema import Schema, Table, nominal, numeric
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [
+            nominal("X", ["x0", "x1"]),
+            nominal("Y", ["y0", "y1"]),
+            nominal("Z", ["z0", "z1"]),
+            numeric("N", 0, 10),
+        ]
+    )
+
+
+def _chain_table(schema, n=2000, seed=1, flip=0.05):
+    """X → Y → Z chain: Y copies X, Z copies Y (with small flip noise)."""
+    rng = random.Random(seed)
+    rows = []
+    for _ in range(n):
+        x = rng.choice(["x0", "x1"])
+        y = ("y0" if x == "x0" else "y1") if rng.random() > flip else rng.choice(["y0", "y1"])
+        z = ("z0" if y == "y0" else "z1") if rng.random() > flip else rng.choice(["z0", "z1"])
+        rows.append([x, y, z, 1.0])
+    return Table(schema, rows)
+
+
+class TestChowLiu:
+    def test_recovers_chain_edges(self, schema):
+        table = _chain_table(schema)
+        net = BayesianNetwork.learn_chow_liu(schema, table, ["X", "Y", "Z"])
+        edges = {
+            frozenset((name, parent))
+            for name in net.nodes
+            for parent in net.parents(name)
+        }
+        # the MI-maximal tree over a chain is the chain itself
+        assert frozenset(("X", "Y")) in edges
+        assert frozenset(("Y", "Z")) in edges
+        assert frozenset(("X", "Z")) not in edges
+
+    def test_sampling_reproduces_dependency(self, schema):
+        table = _chain_table(schema)
+        net = BayesianNetwork.learn_chow_liu(schema, table, ["X", "Y", "Z"])
+        rng = random.Random(2)
+        agree = sum(
+            1
+            for _ in range(1000)
+            if (lambda r: (r["X"] == "x0") == (r["Y"] == "y0"))(net.sample(rng))
+        )
+        assert agree > 850  # strong X↔Y coupling survives learning
+
+    def test_independent_attributes_still_form_tree(self, schema):
+        rng = random.Random(3)
+        rows = [
+            [rng.choice(["x0", "x1"]), rng.choice(["y0", "y1"]), rng.choice(["z0", "z1"]), 1.0]
+            for _ in range(500)
+        ]
+        table = Table(schema, rows)
+        net = BayesianNetwork.learn_chow_liu(schema, table, ["X", "Y", "Z"])
+        # spanning tree over 3 nodes has exactly 2 edges
+        assert sum(len(net.parents(n)) for n in net.nodes) == 2
+        # learned CPT rows are near-uniform
+        for value, probability in net.row_distribution("Y", ()).items() if not net.parents("Y") else []:
+            assert 0.3 < probability < 0.7
+
+    def test_single_attribute(self, schema):
+        table = _chain_table(schema, n=100)
+        net = BayesianNetwork.learn_chow_liu(schema, table, ["X"])
+        assert net.nodes == ("X",)
+        sample = net.sample(random.Random(4))
+        assert sample["X"] in ("x0", "x1")
+
+    def test_numeric_attribute_rejected(self, schema):
+        table = _chain_table(schema, n=50)
+        with pytest.raises(ValueError, match="nominal"):
+            BayesianNetwork.learn_chow_liu(schema, table, ["X", "N"])
+
+    def test_nulls_skipped(self, schema):
+        table = _chain_table(schema, n=300)
+        for i in range(0, 300, 7):
+            table.set_cell(i, "Y", None)
+        net = BayesianNetwork.learn_chow_liu(schema, table, ["X", "Y", "Z"])
+        record = net.sample(random.Random(5))
+        assert set(record) == {"X", "Y", "Z"}
+
+    def test_empty_attribute_list_rejected(self, schema):
+        with pytest.raises(ValueError):
+            BayesianNetwork.learn_chow_liu(schema, _chain_table(schema, n=10), [])

@@ -1,0 +1,144 @@
+"""Tests for the parameterizable start distributions."""
+
+import datetime
+import random
+from collections import Counter
+
+import pytest
+
+from repro.generator import Categorical, Exponential, Normal, NullMixture, Uniform
+from repro.schema import date, nominal, numeric
+
+
+@pytest.fixture
+def nominal_attr():
+    return nominal("C", [f"v{i}" for i in range(10)])
+
+
+@pytest.fixture
+def numeric_attr():
+    return numeric("N", 0, 100, integer=True)
+
+
+@pytest.fixture
+def float_attr():
+    return numeric("F", 0.0, 1.0)
+
+
+@pytest.fixture
+def date_attr():
+    return date("D", datetime.date(2000, 1, 1), datetime.date(2000, 12, 31))
+
+
+def _samples(distribution, attribute, n=2000, seed=5):
+    rng = random.Random(seed)
+    return [distribution.sample(attribute, rng) for _ in range(n)]
+
+
+class TestUniform:
+    def test_nominal_covers_domain(self, nominal_attr):
+        values = set(_samples(Uniform(), nominal_attr, n=500))
+        assert values == set(nominal_attr.domain.values)
+
+    def test_numeric_in_bounds(self, numeric_attr):
+        assert all(0 <= v <= 100 for v in _samples(Uniform(), numeric_attr, n=200))
+
+    def test_date_in_bounds(self, date_attr):
+        assert all(
+            date_attr.domain.contains(v) for v in _samples(Uniform(), date_attr, n=200)
+        )
+
+
+class TestNormal:
+    def test_mass_concentrates_at_mean(self, numeric_attr):
+        samples = _samples(Normal(mean_fraction=0.5, stddev_fraction=0.1), numeric_attr)
+        mean = sum(samples) / len(samples)
+        assert 40 <= mean <= 60
+        assert all(0 <= v <= 100 for v in samples)
+
+    def test_shifted_mean(self, numeric_attr):
+        samples = _samples(Normal(mean_fraction=0.2, stddev_fraction=0.1), numeric_attr)
+        mean = sum(samples) / len(samples)
+        assert 10 <= mean <= 30
+
+    def test_nominal_uses_index_view(self, nominal_attr):
+        samples = _samples(Normal(mean_fraction=0.0, stddev_fraction=0.15), nominal_attr)
+        counts = Counter(samples)
+        # mass near index 0
+        assert counts["v0"] > counts.get("v9", 0)
+
+    def test_invalid_stddev_rejected(self):
+        with pytest.raises(ValueError):
+            Normal(stddev_fraction=0.0)
+
+    def test_date_values_admissible(self, date_attr):
+        samples = _samples(Normal(), date_attr, n=300)
+        assert all(date_attr.domain.contains(v) for v in samples)
+
+
+class TestExponential:
+    def test_descending_mass_at_low_end(self, numeric_attr):
+        samples = _samples(Exponential(scale_fraction=0.2), numeric_attr)
+        below = sum(1 for v in samples if v < 50)
+        assert below > len(samples) * 0.75
+
+    def test_ascending_mass_at_high_end(self, numeric_attr):
+        samples = _samples(
+            Exponential(scale_fraction=0.2, descending=False), numeric_attr
+        )
+        above = sum(1 for v in samples if v > 50)
+        assert above > len(samples) * 0.75
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            Exponential(scale_fraction=0)
+
+    def test_nominal_skews_to_first_values(self, nominal_attr):
+        samples = _samples(Exponential(scale_fraction=0.15), nominal_attr)
+        counts = Counter(samples)
+        assert counts["v0"] > counts.get("v9", 0)
+
+
+class TestCategorical:
+    def test_respects_weights(self, nominal_attr):
+        dist = Categorical({"v0": 8.0, "v1": 2.0})
+        counts = Counter(_samples(dist, nominal_attr))
+        assert set(counts) <= {"v0", "v1"}
+        assert counts["v0"] > counts["v1"]
+
+    def test_zero_weight_never_drawn(self, nominal_attr):
+        dist = Categorical({"v0": 1.0, "v1": 0.0})
+        assert set(_samples(dist, nominal_attr, n=200)) == {"v0"}
+
+    def test_needs_nominal_attribute(self, numeric_attr):
+        with pytest.raises(TypeError):
+            Categorical({"v0": 1.0}).sample(numeric_attr, random.Random(0))
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            Categorical({})
+        with pytest.raises(ValueError):
+            Categorical({"v0": -1.0})
+        with pytest.raises(ValueError):
+            Categorical({"v0": 0.0})
+
+    def test_unknown_values_ignored_if_positive_exists(self, nominal_attr):
+        dist = Categorical({"v0": 1.0, "nonexistent": 5.0})
+        assert set(_samples(dist, nominal_attr, n=100)) == {"v0"}
+
+
+class TestNullMixture:
+    def test_null_rate_approximate(self, nominal_attr):
+        dist = NullMixture(Uniform(), 0.3)
+        samples = _samples(dist, nominal_attr, n=3000)
+        null_rate = sum(1 for v in samples if v is None) / len(samples)
+        assert 0.25 <= null_rate <= 0.35
+
+    def test_non_nullable_attribute_never_null(self):
+        attr = nominal("C", ["a", "b"], nullable=False)
+        dist = NullMixture(Uniform(), 0.9)
+        assert all(v is not None for v in _samples(dist, attr, n=200))
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            NullMixture(Uniform(), 1.5)

@@ -1,0 +1,201 @@
+"""Tests for random rule-set generation and rule-compliant data generation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generator import (
+    GenerationError,
+    RuleGenerationConfig,
+    RuleGenerator,
+    TestDataGenerator,
+    base_profile,
+    base_schema,
+    generate_natural_rule_set,
+)
+from repro.logic import And, Eq, Ne, Rule, is_natural_rule, is_natural_rule_set
+from repro.schema import Schema, nominal, numeric
+
+
+class TestRuleGenerationConfig:
+    def test_defaults_valid(self):
+        RuleGenerationConfig()
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            RuleGenerationConfig(max_premise_atoms=0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            RuleGenerationConfig(disjunction_probability=1.5)
+
+    def test_invalid_attempts(self):
+        with pytest.raises(ValueError):
+            RuleGenerationConfig(max_attempts_per_rule=0)
+
+
+class TestRuleGenerator:
+    def test_generated_set_is_natural(self):
+        schema = base_schema()
+        rng = random.Random(10)
+        rules = generate_natural_rule_set(schema, 20, rng)
+        assert len(rules) == 20
+        assert is_natural_rule_set(rules, schema)
+
+    def test_each_rule_is_natural(self):
+        schema = base_schema()
+        rng = random.Random(11)
+        for rule in generate_natural_rule_set(schema, 10, rng):
+            assert is_natural_rule(rule, schema)
+
+    def test_premise_and_consequence_attribute_disjoint(self):
+        schema = base_schema()
+        rng = random.Random(12)
+        for rule in generate_natural_rule_set(schema, 15, rng):
+            assert not (rule.premise.attributes() & rule.consequence.attributes())
+
+    def test_deterministic_in_seed(self):
+        schema = base_schema()
+        r1 = generate_natural_rule_set(schema, 10, random.Random(13))
+        r2 = generate_natural_rule_set(schema, 10, random.Random(13))
+        assert r1 == r2
+
+    def test_small_schema_saturates_gracefully(self):
+        schema = Schema([nominal("A", ["a", "b"]), nominal("B", ["x", "y"])])
+        rng = random.Random(14)
+        rules = generate_natural_rule_set(schema, 500, rng)
+        # the space of natural rule sets over 2 binary attributes is tiny
+        assert 0 < len(rules) < 500
+        assert is_natural_rule_set(rules, schema)
+
+    def test_single_attribute_schema_rejected(self):
+        with pytest.raises(ValueError):
+            RuleGenerator(Schema([nominal("A", ["a", "b"])]))
+
+    def test_rule_complexity_bounded(self):
+        schema = base_schema()
+        config = RuleGenerationConfig(max_premise_atoms=3, max_consequence_atoms=2)
+        rng = random.Random(15)
+        generator = RuleGenerator(schema, config)
+        for rule in generator.generate(10, rng):
+            from repro.logic import iter_atoms
+
+            assert len(list(iter_atoms(rule.premise))) <= 3
+            assert len(list(iter_atoms(rule.consequence))) <= 2
+
+
+class TestTestDataGenerator:
+    @pytest.fixture
+    def simple_setup(self):
+        schema = Schema(
+            [
+                nominal("A", ["a", "b", "c"]),
+                nominal("B", ["x", "y"]),
+                numeric("N", 0, 100, integer=True),
+            ]
+        )
+        rules = [
+            Rule(Eq("A", "a"), Eq("B", "x")),
+            Rule(Eq("A", "b"), Eq("B", "y")),
+        ]
+        return schema, rules
+
+    def test_generated_data_complies(self, simple_setup):
+        schema, rules = simple_setup
+        generator = TestDataGenerator(schema, rules)
+        table = generator.generate(300, random.Random(16))
+        assert table.n_rows == 300
+        for record in table.records():
+            for rule in rules:
+                assert rule.satisfied_by(record), f"{rule} violated by {dict(record)}"
+
+    def test_base_profile_data_complies(self):
+        profile = base_profile(n_rules=40, seed=17)
+        generator = profile.build_generator()
+        table = generator.generate(400, random.Random(18))
+        for record in table.records():
+            for rule in profile.rules:
+                assert rule.satisfied_by(record)
+
+    def test_rules_actually_fire(self, simple_setup):
+        # compliance must come from repair, not from premises never firing
+        schema, rules = simple_setup
+        generator = TestDataGenerator(schema, rules)
+        table = generator.generate(300, random.Random(19))
+        applicable = sum(
+            1 for record in table.records() for rule in rules if rule.applicable(record)
+        )
+        assert applicable > 50
+
+    def test_values_stay_in_domains(self, simple_setup):
+        schema, rules = simple_setup
+        generator = TestDataGenerator(schema, rules)
+        table = generator.generate(100, random.Random(20))
+        table.validate()
+
+    def test_null_probabilities_respected(self, simple_setup):
+        schema, rules = simple_setup
+        generator = TestDataGenerator(
+            schema, [], null_probabilities={"N": 0.5}
+        )
+        table = generator.generate(400, random.Random(21))
+        nulls = sum(1 for v in table.column("N") if v is None)
+        assert 120 <= nulls <= 280
+
+    def test_invalid_null_probability_rejected(self, simple_setup):
+        schema, _ = simple_setup
+        with pytest.raises(ValueError):
+            TestDataGenerator(schema, [], null_probabilities={"N": 2.0})
+
+    def test_unknown_rule_attribute_rejected(self, simple_setup):
+        schema, _ = simple_setup
+        with pytest.raises(KeyError):
+            TestDataGenerator(schema, [Rule(Eq("ZZ", "a"), Eq("B", "x"))])
+
+    def test_contradictory_rules_raise_generation_error(self, simple_setup):
+        schema, _ = simple_setup
+        # premises cover everything, consequences clash, premise cannot be
+        # falsified (A is constrained to one value by the other rule pair)
+        rules = [
+            Rule(Ne("B", "x"), Eq("N", 1)),
+            Rule(Ne("B", "y"), Eq("N", 2)),
+            Rule(Eq("N", 1), Eq("A", "a")),
+            Rule(Eq("N", 2), Eq("A", "a")),
+            Rule(Eq("A", "a"), Ne("N", 1)),
+        ]
+        generator = TestDataGenerator(
+            schema,
+            rules,
+            null_probabilities={},
+            max_repair_passes=4,
+            max_record_attempts=2,
+        )
+        with pytest.raises(GenerationError):
+            # B is never null → one premise always fires; N=1 forces A=a
+            # which forbids N=1 — unsatisfiable whenever B≠'y'
+            generator.generate(50, random.Random(22))
+
+    def test_stats_tracked(self, simple_setup):
+        schema, rules = simple_setup
+        generator = TestDataGenerator(schema, rules)
+        generator.generate(50, random.Random(23))
+        assert generator.stats.records == 50
+        assert generator.stats.repairs >= 0
+
+    def test_zero_records(self, simple_setup):
+        schema, rules = simple_setup
+        generator = TestDataGenerator(schema, rules)
+        assert generator.generate(0, random.Random(24)).n_rows == 0
+        with pytest.raises(ValueError):
+            generator.generate(-1, random.Random(24))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_seeds_always_comply(self, seed):
+        profile = base_profile(n_rules=15, seed=25)
+        generator = profile.build_generator()
+        table = generator.generate(30, random.Random(seed))
+        for record in table.records():
+            assert all(rule.satisfied_by(record) for rule in profile.rules)

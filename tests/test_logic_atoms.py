@@ -1,0 +1,138 @@
+"""Tests for atomic TDG-formulae: evaluation semantics and validation."""
+
+import datetime
+
+import pytest
+
+from repro.logic import (
+    Eq,
+    EqAttr,
+    Gt,
+    GtAttr,
+    IsNotNull,
+    IsNull,
+    Lt,
+    LtAttr,
+    Ne,
+    NeAttr,
+)
+
+
+RECORD = {"A": "a", "B": None, "N": 2, "M": 2, "F": 0.5, "D": datetime.date(2000, 6, 1)}
+
+
+class TestPropositionalEvaluation:
+    def test_eq(self):
+        assert Eq("A", "a").evaluate(RECORD)
+        assert not Eq("A", "b").evaluate(RECORD)
+
+    def test_eq_on_null_is_false(self):
+        assert not Eq("B", "x").evaluate(RECORD)
+
+    def test_ne(self):
+        assert Ne("A", "b").evaluate(RECORD)
+        assert not Ne("A", "a").evaluate(RECORD)
+
+    def test_ne_on_null_is_false(self):
+        # three-valued semantics folded to false (Table 1 forces this)
+        assert not Ne("B", "x").evaluate(RECORD)
+
+    def test_lt_gt(self):
+        assert Lt("N", 3).evaluate(RECORD)
+        assert not Lt("N", 2).evaluate(RECORD)
+        assert Gt("N", 1).evaluate(RECORD)
+        assert not Gt("N", 2).evaluate(RECORD)
+
+    def test_lt_on_null_is_false(self):
+        assert not Lt("B", "x").evaluate({"B": None})
+
+    def test_date_comparison(self):
+        assert Lt("D", datetime.date(2000, 7, 1)).evaluate(RECORD)
+        assert Gt("D", datetime.date(2000, 1, 1)).evaluate(RECORD)
+
+    def test_null_tests(self):
+        assert IsNull("B").evaluate(RECORD)
+        assert not IsNull("A").evaluate(RECORD)
+        assert IsNotNull("A").evaluate(RECORD)
+        assert not IsNotNull("B").evaluate(RECORD)
+
+
+class TestRelationalEvaluation:
+    def test_eq_attr(self):
+        assert EqAttr("N", "M").evaluate(RECORD)
+        assert not EqAttr("N", "F").evaluate(RECORD)
+
+    def test_eq_attr_null_is_false(self):
+        assert not EqAttr("A", "B").evaluate(RECORD)
+
+    def test_ne_attr(self):
+        assert NeAttr("N", "F").evaluate(RECORD)
+        assert not NeAttr("N", "M").evaluate(RECORD)
+        assert not NeAttr("A", "B").evaluate(RECORD)  # null operand
+
+    def test_lt_gt_attr(self):
+        record = {"N": 1, "M": 2}
+        assert LtAttr("N", "M").evaluate(record)
+        assert not LtAttr("M", "N").evaluate(record)
+        assert GtAttr("M", "N").evaluate(record)
+
+    def test_ordering_null_is_false(self):
+        record = {"N": None, "M": 2}
+        assert not LtAttr("N", "M").evaluate(record)
+        assert not GtAttr("N", "M").evaluate(record)
+
+
+class TestConstruction:
+    def test_null_constant_rejected(self):
+        with pytest.raises(ValueError):
+            Eq("A", None)
+
+    def test_self_comparison_rejected(self):
+        with pytest.raises(ValueError):
+            EqAttr("A", "A")
+
+    def test_attributes_sets(self):
+        assert Eq("A", "a").attributes() == frozenset({"A"})
+        assert LtAttr("N", "M").attributes() == frozenset({"N", "M"})
+
+    def test_equality_and_hash(self):
+        assert Eq("A", "a") == Eq("A", "a")
+        assert Eq("A", "a") != Ne("A", "a")
+        assert Eq("A", "a") != Eq("A", "b")
+        assert hash(LtAttr("N", "M")) != hash(LtAttr("M", "N"))
+
+    def test_str_formatting(self):
+        assert str(Eq("A", "a")) == "A = 'a'"
+        assert str(Lt("N", 5)) == "N < 5"
+        assert str(IsNull("A")) == "A isnull"
+        assert str(LtAttr("N", "M")) == "N < M"
+
+
+class TestValidation:
+    def test_constant_outside_domain(self, full_schema):
+        with pytest.raises(ValueError, match="outside the domain"):
+            Eq("A", "zzz").validate(full_schema)
+        with pytest.raises(ValueError, match="outside the domain"):
+            Gt("N", 1000).validate(full_schema)
+
+    def test_ordering_on_nominal_rejected(self, full_schema):
+        with pytest.raises(ValueError, match="ordering atom"):
+            Lt("A", "a").validate(full_schema)
+        with pytest.raises(ValueError, match="ordering atom"):
+            LtAttr("A", "B").validate(full_schema)
+
+    def test_mixed_kind_relational_rejected(self, full_schema):
+        with pytest.raises(ValueError, match="incompatible kinds"):
+            EqAttr("A", "N").validate(full_schema)
+        with pytest.raises(ValueError, match="incompatible kinds"):
+            LtAttr("N", "D").validate(full_schema)
+
+    def test_unknown_attribute_rejected(self, full_schema):
+        with pytest.raises(KeyError):
+            Eq("ZZ", "a").validate(full_schema)
+
+    def test_valid_atoms_pass(self, full_schema):
+        Eq("A", "a").validate(full_schema)
+        Lt("D", datetime.date(2000, 7, 1)).validate(full_schema)
+        LtAttr("N", "M").validate(full_schema)
+        IsNull("B").validate(full_schema)

@@ -1,0 +1,71 @@
+"""Tests for the DNF transformation used by the satisfiability test."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.logic import And, DnfExplosionError, Eq, Lt, Ne, Or, to_dnf
+
+from tests import strategies as tst
+
+
+def _evaluate_dnf(dnf, record) -> bool:
+    return any(all(atom.evaluate(record) for atom in conj) for conj in dnf)
+
+
+class TestShapes:
+    def test_atom_is_single_disjunct(self):
+        dnf = to_dnf(Eq("A", "a"))
+        assert dnf == [(Eq("A", "a"),)]
+
+    def test_flat_or(self):
+        dnf = to_dnf(Or(Eq("A", "a"), Eq("A", "b")))
+        assert len(dnf) == 2
+        assert all(len(conj) == 1 for conj in dnf)
+
+    def test_flat_and(self):
+        dnf = to_dnf(And(Eq("A", "a"), Eq("B", "x")))
+        assert dnf == [(Eq("A", "a"), Eq("B", "x"))]
+
+    def test_distribution(self):
+        f = And(Or(Eq("A", "a"), Eq("A", "b")), Or(Eq("B", "x"), Eq("B", "y")))
+        dnf = to_dnf(f)
+        assert len(dnf) == 4
+        assert all(len(conj) == 2 for conj in dnf)
+
+    def test_duplicate_atoms_within_conjunct_removed(self):
+        f = And(Eq("A", "a"), Or(Eq("A", "a"), Eq("B", "x")))
+        dnf = to_dnf(f)
+        assert (Eq("A", "a"),) in dnf  # the A=a ∧ A=a disjunct collapses
+
+    def test_duplicate_disjuncts_removed(self):
+        f = Or(And(Eq("A", "a"), Eq("B", "x")), And(Eq("B", "x"), Eq("A", "a")))
+        dnf = to_dnf(f)
+        assert len(dnf) == 1  # same atom set → one disjunct
+
+    def test_explosion_guard(self):
+        parts = [Or(Eq("A", "a"), Eq("A", "b")) for _ in range(2)]
+        big = And(
+            Or(Eq("A", "a"), Eq("A", "b")),
+            Or(Eq("B", "x"), Eq("B", "y")),
+            Or(Lt("N", 1), Lt("N", 2)),
+        )
+        with pytest.raises(DnfExplosionError):
+            to_dnf(big, max_disjuncts=4)
+
+    def test_non_formula_rejected(self):
+        with pytest.raises(TypeError):
+            to_dnf("nope")
+
+
+class TestEquivalence:
+    @settings(max_examples=200)
+    @given(tst.formulas(), tst.records())
+    def test_dnf_preserves_semantics(self, formula, record):
+        dnf = to_dnf(formula)
+        assert _evaluate_dnf(dnf, record) == formula.evaluate(record)
+
+    @given(tst.formulas())
+    def test_every_disjunct_is_atoms_only(self, formula):
+        for conj in to_dnf(formula):
+            assert all(atom.is_atomic for atom in conj)
+            assert len(set(conj)) == len(conj)  # no duplicates inside a conjunct

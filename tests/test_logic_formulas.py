@@ -1,0 +1,90 @@
+"""Tests for And/Or composites and the normalization helpers."""
+
+import pytest
+
+from repro.logic import And, Eq, IsNull, Lt, Ne, Or, conjoin, disjoin, iter_atoms
+
+
+class TestNormalization:
+    def test_flattening(self):
+        f = And(And(Eq("A", "a"), Eq("B", "x")), Lt("N", 2))
+        assert len(f.parts) == 3
+        assert all(p.is_atomic for p in f.parts)
+
+    def test_duplicate_removal(self):
+        f = Or(Eq("A", "a"), Eq("A", "a"), Eq("B", "x"))
+        assert len(f.parts) == 2
+
+    def test_mixed_connectives_not_flattened(self):
+        f = And(Or(Eq("A", "a"), Eq("A", "b")), Eq("B", "x"))
+        assert len(f.parts) == 2
+        assert isinstance(f.parts[0], Or)
+
+    def test_single_part_rejected_on_class(self):
+        with pytest.raises(ValueError):
+            And(Eq("A", "a"), Eq("A", "a"))
+
+    def test_conjoin_unwraps_single(self):
+        assert conjoin([Eq("A", "a")]) == Eq("A", "a")
+        assert conjoin([Eq("A", "a"), Eq("A", "a")]) == Eq("A", "a")
+
+    def test_disjoin_unwraps_single(self):
+        assert disjoin([Eq("A", "a")]) == Eq("A", "a")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            conjoin([])
+        with pytest.raises(ValueError):
+            disjoin([])
+
+    def test_iterable_argument(self):
+        f = And([Eq("A", "a"), Eq("B", "x")])
+        assert len(f.parts) == 2
+
+
+class TestEvaluation:
+    def test_and_all(self):
+        f = And(Eq("A", "a"), Lt("N", 5))
+        assert f.evaluate({"A": "a", "N": 3})
+        assert not f.evaluate({"A": "a", "N": 7})
+        assert not f.evaluate({"A": "b", "N": 3})
+
+    def test_or_any(self):
+        f = Or(Eq("A", "a"), Lt("N", 5))
+        assert f.evaluate({"A": "b", "N": 3})
+        assert f.evaluate({"A": "a", "N": 7})
+        assert not f.evaluate({"A": "b", "N": 7})
+
+    def test_nested(self):
+        f = And(Or(Eq("A", "a"), Eq("A", "b")), Or(Ne("B", "x"), IsNull("B")))
+        assert f.evaluate({"A": "b", "B": None})
+        assert not f.evaluate({"A": "c", "B": None})
+        assert not f.evaluate({"A": "a", "B": "x"})
+
+
+class TestStructure:
+    def test_attributes_union(self):
+        f = And(Eq("A", "a"), Or(Lt("N", 2), IsNull("B")))
+        assert f.attributes() == frozenset({"A", "N", "B"})
+
+    def test_equality_and_hash(self):
+        f = And(Eq("A", "a"), Eq("B", "x"))
+        g = And(Eq("A", "a"), Eq("B", "x"))
+        assert f == g and hash(f) == hash(g)
+        assert f != Or(Eq("A", "a"), Eq("B", "x"))
+        assert f != And(Eq("B", "x"), Eq("A", "a"))  # order-sensitive
+
+    def test_str(self):
+        f = And(Eq("A", "a"), Or(Lt("N", 2), Eq("B", "x")))
+        assert str(f) == "(A = 'a' ∧ (N < 2 ∨ B = 'x'))"
+
+    def test_iter_atoms(self):
+        f = And(Eq("A", "a"), Or(Lt("N", 2), Eq("B", "x")))
+        atoms = list(iter_atoms(f))
+        assert len(atoms) == 3
+        assert Eq("A", "a") in atoms
+
+    def test_validate_recurses(self, full_schema):
+        And(Eq("A", "a"), Eq("B", "x")).validate(full_schema)
+        with pytest.raises(ValueError):
+            And(Eq("A", "a"), Eq("B", "zzz")).validate(full_schema)

@@ -1,0 +1,107 @@
+"""Tests for implication / tautology / equivalence via TDG-negation."""
+
+import random
+
+from hypothesis import given, settings
+
+from repro.logic import (
+    And,
+    Eq,
+    EqAttr,
+    Gt,
+    IsNotNull,
+    IsNull,
+    Lt,
+    LtAttr,
+    Ne,
+    Or,
+    equivalent,
+    implies,
+    is_tautology,
+)
+
+from tests import strategies as tst
+
+
+class TestImplies:
+    def test_eq_implies_ne_other(self, tiny_schema):
+        assert implies(Eq("A", "a"), Ne("A", "b"), tiny_schema)
+
+    def test_eq_implies_notnull(self, tiny_schema):
+        assert implies(Eq("A", "a"), IsNotNull("A"), tiny_schema)
+
+    def test_tighter_bound_implies_looser(self, tiny_schema):
+        assert implies(Lt("N", 2), Lt("N", 3), tiny_schema)
+        assert not implies(Lt("N", 3), Lt("N", 2), tiny_schema)
+
+    def test_eq_value_implies_bounds(self, tiny_schema):
+        assert implies(Eq("N", 1), Lt("N", 3), tiny_schema)
+        assert implies(Eq("N", 1), Gt("N", 0), tiny_schema)
+
+    def test_conjunction_implies_parts(self, tiny_schema):
+        f = And(Eq("A", "a"), Eq("B", "x"))
+        assert implies(f, Eq("A", "a"), tiny_schema)
+        assert implies(f, Eq("B", "x"), tiny_schema)
+
+    def test_part_implies_disjunction(self, tiny_schema):
+        f = Or(Eq("A", "a"), Eq("B", "x"))
+        assert implies(Eq("A", "a"), f, tiny_schema)
+
+    def test_relational_transitivity(self, tiny_schema):
+        # N < M ∧ N > 2 forces M > 2 (in fact impossible here, so implication holds vacuously);
+        # use a real transitive case instead: N<M & M<3 ⇒ N<3... encode with constants
+        assert implies(And(LtAttr("N", "M"), Lt("M", 3)), Lt("N", 3), tiny_schema)
+
+    def test_isnull_implies_nothing_valueful(self, tiny_schema):
+        assert not implies(IsNull("A"), Eq("A", "a"), tiny_schema)
+
+    def test_no_implication_between_unrelated(self, tiny_schema):
+        assert not implies(Eq("A", "a"), Eq("B", "x"), tiny_schema)
+
+
+class TestTautology:
+    def test_null_or_notnull(self, tiny_schema):
+        assert is_tautology(Or(IsNull("A"), IsNotNull("A")), tiny_schema)
+
+    def test_full_domain_cover_with_null(self, tiny_schema):
+        f = Or(Eq("B", "x"), Eq("B", "y"), IsNull("B"))
+        assert is_tautology(f, tiny_schema)
+
+    def test_domain_cover_without_null_is_not_tautology(self, tiny_schema):
+        f = Or(Eq("B", "x"), Eq("B", "y"))
+        assert not is_tautology(f, tiny_schema)
+
+    def test_atom_not_tautology(self, tiny_schema):
+        assert not is_tautology(Eq("A", "a"), tiny_schema)
+
+
+class TestEquivalent:
+    def test_reflexive(self, tiny_schema):
+        f = And(Eq("A", "a"), Lt("N", 2))
+        assert equivalent(f, f, tiny_schema)
+
+    def test_commuted_conjunction(self, tiny_schema):
+        f = And(Eq("A", "a"), Eq("B", "x"))
+        g = And(Eq("B", "x"), Eq("A", "a"))
+        assert equivalent(f, g, tiny_schema)
+
+    def test_non_equivalent(self, tiny_schema):
+        assert not equivalent(Eq("A", "a"), Eq("A", "b"), tiny_schema)
+
+    def test_interval_vs_exclusions(self, tiny_schema):
+        # over the 0..3 integer domain, N<3 ≡ N≠3 given non-null is implied by both
+        assert equivalent(Lt("N", 3), Ne("N", 3), tiny_schema)
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=80, deadline=None)
+    @given(tst.formulas(), tst.formulas())
+    def test_implies_matches_enumeration(self, alpha, beta):
+        brute = all(
+            (not alpha.evaluate(r)) or beta.evaluate(r) for r in tst.all_records()
+        )
+        pragmatic = implies(alpha, beta, tst.TINY)
+        # pragmatic implication rests on sound UNSAT ⇒ a positive verdict
+        # is always correct; a missed implication is tolerated only when the
+        # pragmatic SAT test was optimistic (rare on this schema: assert both)
+        assert pragmatic == brute

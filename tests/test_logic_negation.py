@@ -1,0 +1,97 @@
+"""Tests for TDG-negation (paper Table 1).
+
+The defining property — ``α`` is true iff ``α̃`` is false — is checked
+case by case for every atom shape and property-based for random composite
+formulas over random records (nulls included).
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.logic import (
+    And,
+    Eq,
+    EqAttr,
+    Gt,
+    GtAttr,
+    IsNotNull,
+    IsNull,
+    Lt,
+    LtAttr,
+    Ne,
+    NeAttr,
+    Or,
+    negate,
+)
+
+from tests import strategies as tst
+
+
+class TestTableOne:
+    """Each row of Table 1, checked structurally."""
+
+    def test_eq(self):
+        assert negate(Eq("A", "a")) == Or(Ne("A", "a"), IsNull("A"))
+
+    def test_ne(self):
+        assert negate(Ne("A", "a")) == Or(Eq("A", "a"), IsNull("A"))
+
+    def test_lt(self):
+        assert negate(Lt("N", 2)) == Or(Gt("N", 2), Eq("N", 2), IsNull("N"))
+
+    def test_gt(self):
+        assert negate(Gt("N", 2)) == Or(Lt("N", 2), Eq("N", 2), IsNull("N"))
+
+    def test_isnull(self):
+        assert negate(IsNull("A")) == IsNotNull("A")
+
+    def test_isnotnull(self):
+        assert negate(IsNotNull("A")) == IsNull("A")
+
+    def test_eq_attr(self):
+        assert negate(EqAttr("A", "B")) == Or(NeAttr("A", "B"), IsNull("A"), IsNull("B"))
+
+    def test_ne_attr(self):
+        assert negate(NeAttr("A", "B")) == Or(EqAttr("A", "B"), IsNull("A"), IsNull("B"))
+
+    def test_lt_attr(self):
+        assert negate(LtAttr("N", "M")) == Or(
+            GtAttr("N", "M"), EqAttr("N", "M"), IsNull("N"), IsNull("M")
+        )
+
+    def test_gt_attr(self):
+        assert negate(GtAttr("N", "M")) == Or(
+            LtAttr("N", "M"), EqAttr("N", "M"), IsNull("N"), IsNull("M")
+        )
+
+    def test_and_dualizes_to_or(self):
+        f = And(IsNull("A"), IsNull("B"))
+        assert negate(f) == Or(IsNotNull("A"), IsNotNull("B"))
+
+    def test_or_dualizes_to_and(self):
+        f = Or(IsNull("A"), IsNull("B"))
+        assert negate(f) == And(IsNotNull("A"), IsNotNull("B"))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            negate("not a formula")
+
+
+class TestComplementProperty:
+    """α is true iff α̃ is false — exhaustively for atoms, randomly for trees."""
+
+    @given(tst.atoms())
+    def test_atom_complement_on_all_records(self, atom):
+        for record in tst.all_records():
+            assert atom.evaluate(record) != negate(atom).evaluate(record)
+
+    @settings(max_examples=200)
+    @given(tst.formulas(), tst.records())
+    def test_formula_complement(self, formula, record):
+        assert formula.evaluate(record) != negate(formula).evaluate(record)
+
+    @settings(max_examples=100)
+    @given(tst.formulas(), tst.records())
+    def test_double_negation_preserves_semantics(self, formula, record):
+        twice = negate(negate(formula))
+        assert twice.evaluate(record) == formula.evaluate(record)

@@ -1,0 +1,162 @@
+"""Tests for the formula/rule parser (text round-trips with ``str``)."""
+
+import datetime
+
+import pytest
+from hypothesis import given, settings
+
+from repro.logic import (
+    And,
+    Eq,
+    EqAttr,
+    Gt,
+    IsNotNull,
+    IsNull,
+    Lt,
+    LtAttr,
+    Ne,
+    NeAttr,
+    Or,
+    Rule,
+)
+from repro.logic.parse import ParseError, parse_formula, parse_rule, parse_rules
+
+from tests import strategies as tst
+
+
+class TestAtoms:
+    def test_nominal_equality(self, full_schema):
+        assert parse_formula("A = 'a'", full_schema) == Eq("A", "a")
+        assert parse_formula("A ≠ 'b'", full_schema) == Ne("A", "b")
+        assert parse_formula("A != 'b'", full_schema) == Ne("A", "b")
+
+    def test_numeric_comparisons(self, full_schema):
+        assert parse_formula("N < 50", full_schema) == Lt("N", 50)
+        assert parse_formula("N > 3", full_schema) == Gt("N", 3)
+        assert parse_formula("F < 0.25", full_schema) == Lt("F", 0.25)
+
+    def test_date_literal(self, full_schema):
+        assert parse_formula("D > 2000-06-01", full_schema) == Gt(
+            "D", datetime.date(2000, 6, 1)
+        )
+
+    def test_null_tests(self, full_schema):
+        assert parse_formula("A isnull", full_schema) == IsNull("A")
+        assert parse_formula("B isnotnull", full_schema) == IsNotNull("B")
+
+    def test_relational(self, full_schema):
+        assert parse_formula("N < M", full_schema) == LtAttr("N", "M")
+        assert parse_formula("A = B", full_schema) == EqAttr("A", "B")
+        assert parse_formula("A ≠ B", full_schema) == NeAttr("A", "B")
+
+    def test_quoted_escapes(self, tiny_schema):
+        # value with an escaped quote parses (domain check then rejects it)
+        with pytest.raises(ValueError):
+            parse_formula(r"A = 'it\'s'", tiny_schema)
+
+
+class TestComposites:
+    def test_conjunction(self, full_schema):
+        parsed = parse_formula("A = 'a' ∧ N < 5", full_schema)
+        assert parsed == And(Eq("A", "a"), Lt("N", 5))
+
+    def test_ascii_connectives(self, full_schema):
+        assert parse_formula("A = 'a' and N < 5", full_schema) == parse_formula(
+            "A = 'a' ∧ N < 5", full_schema
+        )
+        assert parse_formula("A = 'a' or N < 5", full_schema) == Or(
+            Eq("A", "a"), Lt("N", 5)
+        )
+
+    def test_precedence_and_binds_tighter(self, full_schema):
+        parsed = parse_formula("A = 'a' ∨ A = 'b' ∧ N < 5", full_schema)
+        assert isinstance(parsed, Or)
+        assert parsed.parts[0] == Eq("A", "a")
+        assert parsed.parts[1] == And(Eq("A", "b"), Lt("N", 5))
+
+    def test_parentheses_override(self, full_schema):
+        parsed = parse_formula("(A = 'a' ∨ A = 'b') ∧ N < 5", full_schema)
+        assert isinstance(parsed, And)
+        assert isinstance(parsed.parts[0], Or)
+
+
+class TestRules:
+    def test_paper_example(self, full_schema):
+        rule = parse_rule("A = 'a' → B = 'x'", full_schema)
+        assert rule == Rule(Eq("A", "a"), Eq("B", "x"))
+
+    def test_ascii_arrow(self, full_schema):
+        assert parse_rule("A = 'a' -> B = 'x'", full_schema) == parse_rule(
+            "A = 'a' → B = 'x'", full_schema
+        )
+
+    def test_conjunctive_premise(self, full_schema):
+        rule = parse_rule("A = 'a' ∧ N > 10 → B = 'y'", full_schema)
+        assert rule.premise == And(Eq("A", "a"), Gt("N", 10))
+
+    def test_rule_file(self, full_schema):
+        text = """
+        # engine-composition dependencies
+        A = 'a' → B = 'x'
+
+        A = 'b' ∧ N < 50 → B = 'y'   # with a trailing comment
+        """
+        rules = parse_rules(text, full_schema)
+        assert len(rules) == 2
+
+    def test_rule_file_error_reports_line(self, full_schema):
+        with pytest.raises(ParseError, match="line 2"):
+            parse_rules("A = 'a' → B = 'x'\nA ==== 'b' → B", full_schema)
+
+
+class TestErrors:
+    def test_unknown_attribute(self, full_schema):
+        with pytest.raises(ParseError, match="unknown attribute"):
+            parse_formula("ZZ = 'a'", full_schema)
+
+    def test_bare_word_value(self, full_schema):
+        with pytest.raises(ParseError, match="quoted"):
+            parse_formula("A = a", full_schema)
+
+    def test_out_of_domain_constant(self, full_schema):
+        with pytest.raises(ValueError, match="outside the domain"):
+            parse_formula("A = 'zzz'", full_schema)
+
+    def test_trailing_garbage(self, full_schema):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_formula("A = 'a' B", full_schema)
+
+    def test_missing_operand(self, full_schema):
+        with pytest.raises(ParseError):
+            parse_formula("A =", full_schema)
+
+    def test_two_arrows(self, full_schema):
+        with pytest.raises(ParseError, match="exactly one"):
+            parse_rule("A = 'a' → B = 'x' → N < 5", full_schema)
+
+    def test_stray_character(self, full_schema):
+        with pytest.raises(ParseError, match="unexpected character"):
+            parse_formula("A = 'a' ;", full_schema)
+
+    def test_unbalanced_paren(self, full_schema):
+        with pytest.raises(ParseError):
+            parse_formula("(A = 'a'", full_schema)
+
+
+class TestRoundTrip:
+    @settings(max_examples=150, deadline=None)
+    @given(tst.formulas())
+    def test_str_parse_roundtrip(self, formula):
+        # str() renders the library notation; parsing it must reproduce an
+        # equivalent formula (modulo And/Or flattening, which str preserves)
+        text = str(formula)
+        parsed = parse_formula(text, tst.TINY)
+        for record in list(tst.all_records())[:40]:
+            assert parsed.evaluate(record) == formula.evaluate(record)
+
+    @settings(max_examples=60, deadline=None)
+    @given(tst.rules())
+    def test_rule_roundtrip(self, rule):
+        parsed = parse_rule(str(rule), tst.TINY)
+        for record in list(tst.all_records())[:40]:
+            assert parsed.violated_by(record) == rule.violated_by(record)

@@ -1,0 +1,151 @@
+"""Tests for the current-domain-range machinery of the satisfiability test."""
+
+import datetime
+import random
+
+import pytest
+
+from repro.logic import NominalRange, OrderedRange, range_of_domain
+from repro.schema import DateDomain, NominalDomain, NumericDomain
+
+
+class TestNominalRange:
+    def test_restrict_eq(self):
+        r = NominalRange({"a", "b", "c"})
+        r.restrict_eq("b")
+        assert r.allowed == {"b"}
+        assert r.singleton() == "b"
+
+    def test_restrict_eq_outside_empties(self):
+        r = NominalRange({"a"})
+        r.restrict_eq("z")
+        assert r.is_empty
+
+    def test_restrict_ne(self):
+        r = NominalRange({"a", "b"})
+        r.restrict_ne("a")
+        assert r.allowed == {"b"}
+
+    def test_intersect(self):
+        r1, r2 = NominalRange({"a", "b"}), NominalRange({"b", "c"})
+        r1.intersect(r2)
+        assert r1.allowed == {"b"}
+
+    def test_sample_respects_forbidden(self):
+        r = NominalRange({"a", "b"})
+        rng = random.Random(0)
+        assert r.sample(rng, forbidden={"a"}) == "b"
+        assert r.sample(rng, forbidden={"a", "b"}) is None
+
+    def test_copy_independent(self):
+        r = NominalRange({"a", "b"})
+        dup = r.copy()
+        dup.restrict_eq("a")
+        assert r.allowed == {"a", "b"}
+
+
+class TestOrderedRangeFloat:
+    def test_bounds(self):
+        r = OrderedRange(0.0, 1.0)
+        r.restrict_upper(0.5, strict=True)
+        assert r.contains(0.25)
+        assert not r.contains(0.5)
+        assert not r.contains(0.75)
+
+    def test_eq_pins(self):
+        r = OrderedRange(0.0, 1.0)
+        r.restrict_eq(0.5)
+        assert r.singleton() == 0.5
+        assert not r.is_empty
+
+    def test_strict_point_is_empty(self):
+        r = OrderedRange(0.0, 1.0)
+        r.restrict_lower(0.5, strict=True)
+        r.restrict_upper(0.5, strict=False)
+        assert r.is_empty
+
+    def test_excluded_point_empties_degenerate_interval(self):
+        r = OrderedRange(0.0, 1.0)
+        r.restrict_eq(0.5)
+        r.restrict_ne(0.5)
+        assert r.is_empty
+
+    def test_excluded_point_does_not_empty_interval(self):
+        r = OrderedRange(0.0, 1.0)
+        r.restrict_ne(0.5)
+        assert not r.is_empty
+
+    def test_sample_in_range(self):
+        r = OrderedRange(0.0, 1.0)
+        r.restrict_lower(0.4, strict=True)
+        rng = random.Random(1)
+        for _ in range(20):
+            v = r.sample(rng)
+            assert v is not None and r.contains(v)
+
+
+class TestOrderedRangeInteger:
+    def test_strict_bounds_normalize(self):
+        r = OrderedRange(0, 10, integer=True)
+        r.restrict_lower(3, strict=True)
+        r.restrict_upper(7, strict=True)
+        assert r.low == 4 and r.high == 6
+        assert not r.low_strict and not r.high_strict
+
+    def test_empty_after_crossing(self):
+        r = OrderedRange(0, 10, integer=True)
+        r.restrict_lower(5, strict=True)
+        r.restrict_upper(6, strict=True)
+        assert r.is_empty  # only 5 < x < 6 has no integer
+
+    def test_all_points_excluded(self):
+        r = OrderedRange(0, 2, integer=True)
+        for v in (0, 1, 2):
+            r.restrict_ne(v)
+        assert r.is_empty
+
+    def test_singleton_via_exclusion(self):
+        r = OrderedRange(0, 1, integer=True)
+        r.restrict_ne(0)
+        assert r.singleton() == 1.0
+
+    def test_sample_avoids_exclusions(self):
+        r = OrderedRange(0, 3, integer=True)
+        r.restrict_ne(1)
+        rng = random.Random(2)
+        samples = {r.sample(rng) for _ in range(50)}
+        assert 1.0 not in samples
+        assert samples <= {0.0, 2.0, 3.0}
+
+    def test_intersect_merges_integerness(self):
+        a = OrderedRange(0.0, 10.0)
+        b = OrderedRange(2, 5, integer=True)
+        a.intersect(b)
+        assert a.integer
+        assert a.low == 2 and a.high == 5
+
+
+class TestRangeOfDomain:
+    def test_nominal(self):
+        r = range_of_domain(NominalDomain(["a", "b"]))
+        assert isinstance(r, NominalRange)
+        assert r.allowed == {"a", "b"}
+
+    def test_numeric_integer(self):
+        r = range_of_domain(NumericDomain(1, 9, integer=True))
+        assert isinstance(r, OrderedRange)
+        assert r.integer and r.low == 1 and r.high == 9
+
+    def test_numeric_float(self):
+        r = range_of_domain(NumericDomain(0.5, 2.5))
+        assert not r.integer
+
+    def test_date_maps_to_ordinals(self):
+        start, end = datetime.date(2000, 1, 1), datetime.date(2000, 1, 31)
+        r = range_of_domain(DateDomain(start, end))
+        assert r.integer
+        assert r.low == start.toordinal() and r.high == end.toordinal()
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            range_of_domain("not a domain")

@@ -1,0 +1,190 @@
+"""Tests for TDG-rules (Def. 3) and the naturalness restrictions (Defs. 4–6).
+
+Includes the paper's own counterexamples from sec. 4.1.2:
+contradictory (``A = v₁ → A = v₂``), hidden-contradiction
+(``A = v₁ ∧ A = v₂ → …``), tautological (``A = v₁ → A ≠ v₂``),
+mutually contradictory rule pairs, and redundancy-introducing pairs.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.logic import (
+    And,
+    Eq,
+    Gt,
+    IsNotNull,
+    IsNull,
+    Lt,
+    Ne,
+    Or,
+    Rule,
+    can_extend_rule_set,
+    is_natural_formula,
+    is_natural_rule,
+    is_natural_rule_set,
+    rule_pair_is_natural,
+)
+
+from tests import strategies as tst
+
+
+class TestRule:
+    def test_violation_semantics(self):
+        rule = Rule(Eq("A", "a"), Eq("B", "x"))
+        assert rule.violated_by({"A": "a", "B": "y"})
+        assert not rule.violated_by({"A": "a", "B": "x"})
+        assert not rule.violated_by({"A": "b", "B": "y"})  # premise false
+
+    def test_vacuous_satisfaction(self):
+        rule = Rule(Eq("A", "a"), Eq("B", "x"))
+        assert rule.satisfied_by({"A": None, "B": None})
+        assert rule.applicable({"A": "a", "B": None})
+
+    def test_attributes(self):
+        rule = Rule(And(Eq("A", "a"), Lt("N", 2)), Eq("B", "x"))
+        assert rule.attributes() == frozenset({"A", "N", "B"})
+
+    def test_str(self):
+        assert str(Rule(Eq("A", "a"), Eq("B", "x"))) == "A = 'a' → B = 'x'"
+
+    def test_equality_hash(self):
+        r1 = Rule(Eq("A", "a"), Eq("B", "x"))
+        r2 = Rule(Eq("A", "a"), Eq("B", "x"))
+        assert r1 == r2 and hash(r1) == hash(r2)
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            Rule("A = a", Eq("B", "x"))
+
+    def test_validate(self, tiny_schema):
+        Rule(Eq("A", "a"), Eq("B", "x")).validate(tiny_schema)
+        with pytest.raises(ValueError):
+            Rule(Eq("A", "zzz"), Eq("B", "x")).validate(tiny_schema)
+
+
+class TestNaturalFormula:
+    def test_satisfiable_atom_is_natural(self, tiny_schema):
+        assert is_natural_formula(Eq("A", "a"), tiny_schema)
+
+    def test_unsatisfiable_conjunction_not_natural(self, tiny_schema):
+        assert not is_natural_formula(And(Eq("A", "a"), Eq("A", "b")), tiny_schema)
+
+    def test_redundant_conjunct_not_natural(self, tiny_schema):
+        # N < 2 already implies N < 3
+        assert not is_natural_formula(And(Lt("N", 2), Lt("N", 3)), tiny_schema)
+
+    def test_independent_conjunction_natural(self, tiny_schema):
+        assert is_natural_formula(And(Eq("A", "a"), Eq("B", "x")), tiny_schema)
+
+    def test_redundant_disjunct_not_natural(self, tiny_schema):
+        # N < 2 is absorbed by N < 3
+        assert not is_natural_formula(Or(Lt("N", 2), Lt("N", 3)), tiny_schema)
+
+    def test_independent_disjunction_natural(self, tiny_schema):
+        assert is_natural_formula(Or(Eq("A", "a"), Eq("B", "x")), tiny_schema)
+
+    def test_nested(self, tiny_schema):
+        f = And(Or(Eq("A", "a"), Eq("A", "b")), Eq("B", "x"))
+        assert is_natural_formula(f, tiny_schema)
+
+    def test_eq_with_notnull_redundant(self, tiny_schema):
+        assert not is_natural_formula(And(Eq("A", "a"), IsNotNull("A")), tiny_schema)
+
+
+class TestNaturalRule:
+    def test_plain_dependency_is_natural(self, tiny_schema):
+        assert is_natural_rule(Rule(Eq("A", "a"), Eq("B", "x")), tiny_schema)
+
+    def test_paper_contradictory_rule(self, tiny_schema):
+        # A = Val1 → A = Val2 : premise ∧ consequence unsatisfiable
+        assert not is_natural_rule(Rule(Eq("A", "a"), Eq("A", "b")), tiny_schema)
+
+    def test_paper_unsatisfiable_premise(self, tiny_schema):
+        # A = Val1 ∧ A = Val2 → B = Val1 : premise not natural
+        assert not is_natural_rule(
+            Rule(And(Eq("A", "a"), Eq("A", "b")), Eq("B", "x")), tiny_schema
+        )
+
+    def test_paper_tautological_rule(self, tiny_schema):
+        # A = Val1 → A ≠ Val2 : premise implies consequence
+        assert not is_natural_rule(Rule(Eq("A", "a"), Ne("A", "b")), tiny_schema)
+
+    def test_numeric_tautology_rejected(self, tiny_schema):
+        assert not is_natural_rule(Rule(Lt("N", 2), Lt("N", 3)), tiny_schema)
+
+    def test_numeric_dependency_natural(self, tiny_schema):
+        assert is_natural_rule(Rule(Lt("N", 2), Gt("M", 1)), tiny_schema)
+
+
+class TestNaturalRuleSet:
+    def test_paper_mutually_contradictory_pair(self, tiny_schema):
+        # A = v → B = x and A = v → B = y: premises equal, consequences clash
+        r1 = Rule(Eq("A", "a"), Eq("B", "x"))
+        r2 = Rule(Eq("A", "a"), Eq("B", "y"))
+        assert not rule_pair_is_natural(r1, r2, tiny_schema)
+        assert not is_natural_rule_set([r1, r2], tiny_schema)
+
+    def test_paper_redundant_pair(self, tiny_schema):
+        # A=a ∧ B=x → N=1 adds nothing in the presence of A=a → N=1
+        specific = Rule(And(Eq("A", "a"), Eq("B", "x")), Eq("N", 1))
+        general = Rule(Eq("A", "a"), Eq("N", 1))
+        assert not rule_pair_is_natural(specific, general, tiny_schema)
+        # order of the pair must not matter
+        assert not rule_pair_is_natural(general, specific, tiny_schema)
+
+    def test_refining_consequence_is_allowed(self, tiny_schema):
+        # a more specific premise may *refine* the weaker consequence
+        general = Rule(Eq("A", "a"), Lt("N", 3))
+        specific = Rule(And(Eq("A", "a"), Eq("B", "x")), Lt("N", 2))
+        assert rule_pair_is_natural(general, specific, tiny_schema)
+        assert is_natural_rule_set([general, specific], tiny_schema)
+
+    def test_unrelated_premises_always_pass_pairwise(self, tiny_schema):
+        r1 = Rule(Eq("A", "a"), Eq("N", 1))
+        r2 = Rule(Eq("B", "x"), Eq("M", 2))
+        assert rule_pair_is_natural(r1, r2, tiny_schema)
+
+    def test_duplicate_rules_rejected(self, tiny_schema):
+        r = Rule(Eq("A", "a"), Eq("B", "x"))
+        assert not is_natural_rule_set([r, r], tiny_schema)
+        assert not can_extend_rule_set([r], r, tiny_schema)
+
+    def test_can_extend(self, tiny_schema):
+        r1 = Rule(Eq("A", "a"), Eq("B", "x"))
+        ok = Rule(Eq("A", "b"), Eq("B", "y"))
+        clash = Rule(Eq("A", "a"), Eq("B", "y"))
+        assert can_extend_rule_set([r1], ok, tiny_schema)
+        assert not can_extend_rule_set([r1], clash, tiny_schema)
+
+    def test_natural_rule_set_accepts_consistent_rules(self, tiny_schema):
+        rules = [
+            Rule(Eq("A", "a"), Eq("B", "x")),
+            Rule(Eq("A", "b"), Eq("B", "y")),
+            Rule(Eq("B", "y"), Gt("N", 0)),
+        ]
+        assert is_natural_rule_set(rules, tiny_schema)
+
+
+class TestRandomizedNaturalness:
+    @settings(max_examples=60, deadline=None)
+    @given(tst.formulas())
+    def test_natural_formulas_are_satisfiable(self, formula):
+        if is_natural_formula(formula, tst.TINY):
+            assert any(formula.evaluate(r) for r in tst.all_records())
+
+    @settings(max_examples=60, deadline=None)
+    @given(tst.rules())
+    def test_natural_rules_are_informative(self, rule):
+        if is_natural_rule(rule, tst.TINY):
+            records = list(tst.all_records())
+            # premise satisfiable together with consequence …
+            assert any(
+                rule.premise.evaluate(r) and rule.consequence.evaluate(r)
+                for r in records
+            )
+            # … and the rule can actually be violated (not a tautology)
+            assert any(
+                rule.premise.evaluate(r) and not rule.consequence.evaluate(r)
+                for r in records
+            )

@@ -1,0 +1,219 @@
+"""Tests for the pragmatic satisfiability test and model finding.
+
+The paper's guarantee (sec. 4.1.3) is *soundness of UNSAT*: the test never
+declares a satisfiable formula unsatisfiable, while rare SAT verdicts may
+be optimistic. The property tests check exactly that against brute-force
+enumeration over the tiny schema, and that every model returned by
+``find_model`` genuinely satisfies the formula.
+"""
+
+import datetime
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.logic import (
+    And,
+    Eq,
+    EqAttr,
+    Gt,
+    GtAttr,
+    IsNotNull,
+    IsNull,
+    Lt,
+    LtAttr,
+    Ne,
+    NeAttr,
+    Or,
+    find_model,
+    is_conjunction_satisfiable,
+    is_satisfiable,
+)
+from repro.schema import Schema, nominal, numeric
+
+from tests import strategies as tst
+
+
+class TestPropositionalConflicts:
+    def test_contradicting_equalities(self, tiny_schema):
+        assert not is_satisfiable(And(Eq("A", "a"), Eq("A", "b")), tiny_schema)
+
+    def test_eq_and_ne_same_value(self, tiny_schema):
+        assert not is_satisfiable(And(Eq("A", "a"), Ne("A", "a")), tiny_schema)
+
+    def test_exhausted_nominal_domain(self, tiny_schema):
+        f = And(Ne("B", "x"), Ne("B", "y"))
+        assert not is_satisfiable(f, tiny_schema)
+
+    def test_numeric_window_empty(self, tiny_schema):
+        assert not is_satisfiable(And(Gt("N", 1), Lt("N", 2)), tiny_schema)
+
+    def test_numeric_window_nonempty(self, tiny_schema):
+        assert is_satisfiable(And(Gt("N", 0), Lt("N", 2)), tiny_schema)
+
+    def test_null_and_value_conflict(self, tiny_schema):
+        assert not is_satisfiable(And(IsNull("A"), Eq("A", "a")), tiny_schema)
+
+    def test_null_and_notnull_conflict(self, tiny_schema):
+        assert not is_satisfiable(And(IsNull("A"), IsNotNull("A")), tiny_schema)
+
+    def test_isnull_on_non_nullable(self):
+        schema = Schema([nominal("A", ["a"], nullable=False)])
+        assert not is_satisfiable(IsNull("A"), schema)
+
+    def test_disjunction_rescues(self, tiny_schema):
+        f = Or(And(Eq("A", "a"), Eq("A", "b")), Eq("B", "x"))
+        assert is_satisfiable(f, tiny_schema)
+
+
+class TestRelationalConflicts:
+    def test_strict_cycle(self, tiny_schema):
+        assert not is_satisfiable(And(LtAttr("N", "M"), LtAttr("M", "N")), tiny_schema)
+
+    def test_redundant_lt_gt_pair_satisfiable(self, tiny_schema):
+        # N < M and M > N are the same constraint, not a cycle
+        assert is_satisfiable(And(LtAttr("N", "M"), GtAttr("M", "N")), tiny_schema)
+
+    def test_lt_and_gt_opposite_unsat(self, tiny_schema):
+        assert not is_satisfiable(And(LtAttr("N", "M"), GtAttr("N", "M")), tiny_schema)
+
+    def test_eq_link_with_strict_edge(self, tiny_schema):
+        assert not is_satisfiable(And(EqAttr("N", "M"), LtAttr("N", "M")), tiny_schema)
+
+    def test_eq_and_diseq(self, tiny_schema):
+        assert not is_satisfiable(And(EqAttr("N", "M"), NeAttr("N", "M")), tiny_schema)
+
+    def test_transitive_bound_propagation(self, tiny_schema):
+        # N < M with N > 2 forces M = 3 at least; M < 3 closes the window
+        f = And(LtAttr("N", "M"), Gt("N", 2))
+        assert not is_satisfiable(f, tiny_schema)  # N=3 leaves no room for M
+
+    def test_chain_exceeding_domain(self, tiny_schema):
+        # A chain of 4 strict inequalities needs 5 distinct values; domain has 4
+        schema = Schema(
+            [numeric(name, 0, 3, integer=True) for name in ("P", "Q", "R", "S", "T")]
+        )
+        chain = And(LtAttr("P", "Q"), LtAttr("Q", "R"), LtAttr("R", "S"), LtAttr("S", "T"))
+        assert not is_satisfiable(chain, schema)
+
+    def test_chain_fitting_domain(self, tiny_schema):
+        schema = Schema(
+            [numeric(name, 0, 3, integer=True) for name in ("P", "Q", "R", "S")]
+        )
+        chain = And(LtAttr("P", "Q"), LtAttr("Q", "R"), LtAttr("R", "S"))
+        assert is_satisfiable(chain, schema)
+
+    def test_equality_link_intersects_nominal_domains(self):
+        schema = Schema([nominal("A", ["a", "b"]), nominal("B", ["c", "d"])])
+        assert not is_satisfiable(EqAttr("A", "B"), schema)
+
+    def test_equality_link_with_overlap(self):
+        schema = Schema([nominal("A", ["a", "b"]), nominal("B", ["b", "c"])])
+        assert is_satisfiable(EqAttr("A", "B"), schema)
+
+    def test_diseq_between_pinned_singletons(self, tiny_schema):
+        f = And(NeAttr("N", "M"), Eq("N", 2), Eq("M", 2))
+        assert not is_satisfiable(f, tiny_schema)
+
+    def test_diseq_between_singleton_domains(self):
+        schema = Schema([nominal("A", ["only"]), nominal("B", ["only"])])
+        assert not is_satisfiable(NeAttr("A", "B"), schema)
+
+    def test_equality_propagates_value(self, tiny_schema):
+        f = And(EqAttr("N", "M"), Eq("N", 2), Ne("M", 2))
+        assert not is_satisfiable(f, tiny_schema)
+
+
+class TestDates:
+    def test_date_window(self, full_schema):
+        f = And(
+            Gt("D", datetime.date(2000, 6, 1)),
+            Lt("D", datetime.date(2000, 6, 3)),
+        )
+        assert is_satisfiable(f, full_schema)  # exactly 2000-06-02
+
+    def test_date_window_empty(self, full_schema):
+        f = And(
+            Gt("D", datetime.date(2000, 6, 1)),
+            Lt("D", datetime.date(2000, 6, 2)),
+        )
+        assert not is_satisfiable(f, full_schema)
+
+    def test_date_model_is_date(self, full_schema, rng):
+        f = And(
+            Gt("D", datetime.date(2000, 6, 1)),
+            Lt("D", datetime.date(2000, 6, 3)),
+        )
+        model = find_model(f, full_schema, rng)
+        assert model == {"D": datetime.date(2000, 6, 2)}
+
+
+class TestModelFinding:
+    def test_model_satisfies(self, tiny_schema, rng):
+        f = And(Or(Eq("A", "a"), Eq("A", "b")), LtAttr("N", "M"))
+        model = find_model(f, tiny_schema, rng)
+        assert model is not None
+        record = {"A": None, "B": None, "N": None, "M": None, **model}
+        assert f.evaluate(record)
+
+    def test_unsat_returns_none(self, tiny_schema, rng):
+        assert find_model(And(Eq("A", "a"), Eq("A", "b")), tiny_schema, rng) is None
+
+    def test_base_record_kept_when_consistent(self, tiny_schema, rng):
+        base = {"A": "b", "B": "x", "N": 1, "M": 2}
+        model = find_model(Or(Eq("A", "a"), Eq("B", "x")), tiny_schema, rng, base=base)
+        # B=x already holds, so the cheapest disjunct keeps everything
+        assert model == {"B": "x"}
+
+    def test_base_record_minimal_change(self, tiny_schema, rng):
+        base = {"A": "c", "B": "y", "N": 3, "M": 0}
+        model = find_model(And(Eq("A", "a"), LtAttr("N", "M")), tiny_schema, rng, base=base)
+        assert model is not None
+        assert model["A"] == "a"
+        assert model["N"] < model["M"]
+
+    def test_equality_class_assignment(self, tiny_schema, rng):
+        model = find_model(And(EqAttr("N", "M"), Gt("N", 2)), tiny_schema, rng)
+        assert model == {"N": 3, "M": 3}
+
+    def test_must_null_assigned_none(self, tiny_schema, rng):
+        model = find_model(And(IsNull("A"), Eq("B", "x")), tiny_schema, rng)
+        assert model == {"A": None, "B": "x"}
+
+    def test_diseq_resolved(self, tiny_schema, rng):
+        model = find_model(And(NeAttr("A", "B"), Eq("B", "y")), tiny_schema, rng)
+        assert model is not None
+        assert model["A"] != model["B"]
+        assert model["B"] == "y"
+
+
+class TestSoundness:
+    """Brute-force cross-checks over the tiny schema."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(tst.formulas())
+    def test_unsat_verdicts_are_sound(self, formula):
+        pragmatic = is_satisfiable(formula, tst.TINY)
+        brute = any(formula.evaluate(r) for r in tst.all_records())
+        if brute:
+            assert pragmatic, f"false UNSAT for {formula}"
+
+    @settings(max_examples=150, deadline=None)
+    @given(tst.formulas())
+    def test_models_are_genuine(self, formula):
+        rng = random.Random(7)
+        model = find_model(formula, tst.TINY, rng)
+        if model is not None:
+            record = {"A": None, "B": None, "N": None, "M": None, **model}
+            assert formula.evaluate(record)
+
+    @settings(max_examples=150, deadline=None)
+    @given(tst.formulas())
+    def test_sat_implies_model_found(self, formula):
+        # On this small schema the solver should find a model whenever the
+        # pragmatic test says SAT and a model truly exists.
+        brute = any(formula.evaluate(r) for r in tst.all_records())
+        if brute:
+            model = find_model(formula, tst.TINY, random.Random(11))
+            assert model is not None

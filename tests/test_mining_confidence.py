@@ -1,0 +1,133 @@
+"""Tests for the error-confidence measures (Defs. 7 and 9, minInst).
+
+Includes the paper's own motivating distribution pairs from sec. 5.2:
+the measure must distinguish cases that ``1 − P(c)`` and ``P(ĉ)`` alone
+cannot.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mining import (
+    ConfidenceBounds,
+    error_confidence,
+    error_confidence_from_counts,
+    expected_error_confidence,
+    min_instances_for_confidence,
+)
+
+BOUNDS = ConfidenceBounds(0.95)
+
+
+class TestErrorConfidenceDef7:
+    def test_zero_when_observation_matches_prediction(self):
+        p = np.array([0.9, 0.1])
+        assert error_confidence(p, 100, 0, BOUNDS) == 0.0
+
+    def test_high_for_clear_deviation(self):
+        p = np.array([0.99, 0.01])
+        assert error_confidence(p, 1000, 1, BOUNDS) > 0.9
+
+    def test_zero_for_uniform_distribution(self):
+        p = np.array([0.5, 0.5])
+        # leftBound(0.5) < rightBound(0.5) → clipped to 0
+        assert error_confidence(p, 100, 1, BOUNDS) == 0.0
+
+    def test_grows_with_sample_size(self):
+        p = np.array([0.9, 0.1])
+        small = error_confidence(p, 20, 1, BOUNDS)
+        large = error_confidence(p, 2000, 1, BOUNDS)
+        assert large > small
+
+    def test_zero_support(self):
+        assert error_confidence(np.array([1.0, 0.0]), 0, 1, BOUNDS) == 0.0
+
+    def test_paper_first_counterexample(self):
+        """1 − P(c) would score these equally; errorConf must not.
+
+        P1 = (0.2, 0.2, 0.2, 0.1, 0.3) and P2 = (0.2, 0.8, 0, 0, 0),
+        first class observed: the error is more apparent under P2.
+        """
+        p1 = np.array([0.2, 0.2, 0.2, 0.1, 0.3])
+        p2 = np.array([0.2, 0.8, 0.0, 0.0, 0.0])
+        n = 500
+        assert error_confidence(p2, n, 0, BOUNDS) > error_confidence(p1, n, 0, BOUNDS)
+
+    def test_paper_second_counterexample(self):
+        """P(ĉ) alone would score these equally; errorConf must not.
+
+        P1 = (0.0, 0.1, 0.9) and P2 = (0.1, 0.0, 0.9), first class
+        observed: observing a zero-probability class is worse.
+        """
+        p1 = np.array([0.0, 0.1, 0.9])
+        p2 = np.array([0.1, 0.0, 0.9])
+        n = 500
+        assert error_confidence(p1, n, 0, BOUNDS) > error_confidence(p2, n, 0, BOUNDS)
+
+    def test_from_counts(self):
+        counts = np.array([99.0, 1.0])
+        direct = error_confidence(np.array([0.99, 0.01]), 100, 1, BOUNDS)
+        assert error_confidence_from_counts(counts, 1, BOUNDS) == pytest.approx(direct)
+
+    @given(
+        st.lists(st.floats(0.0, 10.0), min_size=2, max_size=6),
+        st.integers(0, 5),
+    )
+    def test_always_in_unit_interval(self, raw_counts, observed_raw):
+        counts = np.asarray(raw_counts)
+        if counts.sum() <= 0:
+            return
+        observed = observed_raw % len(counts)
+        value = error_confidence_from_counts(counts, observed, BOUNDS)
+        assert 0.0 <= value <= 1.0
+
+
+class TestExpectedErrorConfidenceDef9:
+    def test_pure_leaf_is_zero(self):
+        # every training instance matches the prediction → nothing to flag
+        assert expected_error_confidence(np.array([100.0, 0.0]), BOUNDS) == 0.0
+
+    def test_uniform_leaf_is_zero(self):
+        assert expected_error_confidence(np.array([50.0, 50.0]), BOUNDS) == 0.0
+
+    def test_contaminated_skewed_leaf_is_positive(self):
+        value = expected_error_confidence(np.array([990.0, 10.0]), BOUNDS)
+        assert value > 0.0
+
+    def test_cutoff_removes_weak_contributions(self):
+        counts = np.array([700.0, 300.0])  # deviations score ~0.35
+        assert expected_error_confidence(counts, BOUNDS, 0.0) > 0.0
+        assert expected_error_confidence(counts, BOUNDS, 0.8) == 0.0
+
+    def test_empty_counts(self):
+        assert expected_error_confidence(np.array([0.0, 0.0]), BOUNDS) == 0.0
+
+
+class TestMinInstances:
+    def test_monotone_in_confidence(self):
+        low = min_instances_for_confidence(0.5, BOUNDS)
+        high = min_instances_for_confidence(0.95, BOUNDS)
+        assert high > low >= 1
+
+    def test_bound_is_tight(self):
+        n = min_instances_for_confidence(0.8, BOUNDS)
+        best = BOUNDS.left_bound(1.0, n) - BOUNDS.right_bound(0.0, n)
+        assert best >= 0.8
+        if n > 1:
+            below = BOUNDS.left_bound(1.0, n - 1) - BOUNDS.right_bound(0.0, n - 1)
+            assert below < 0.8
+
+    def test_trivial_confidence(self):
+        assert min_instances_for_confidence(0.0, BOUNDS) == 1
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            min_instances_for_confidence(1.0, BOUNDS)
+
+    def test_paper_operating_point(self):
+        # at the evaluation's 80 % minimal confidence a leaf needs a
+        # two-digit class count — the source of figure 3's jump
+        n = min_instances_for_confidence(0.8, BOUNDS)
+        assert 10 <= n <= 100

@@ -1,0 +1,113 @@
+"""Tests for the binomial confidence-interval bounds."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mining import (
+    ConfidenceBounds,
+    IntervalMethod,
+    clopper_pearson_lower,
+    clopper_pearson_upper,
+    normal_quantile,
+    wilson_lower,
+    wilson_upper,
+)
+
+
+class TestNormalQuantile:
+    def test_median(self):
+        assert abs(normal_quantile(0.5)) < 1e-9
+
+    def test_known_values(self):
+        assert math.isclose(normal_quantile(0.975), 1.959964, abs_tol=1e-5)
+        assert math.isclose(normal_quantile(0.95), 1.644854, abs_tol=1e-5)
+        assert math.isclose(normal_quantile(0.025), -1.959964, abs_tol=1e-5)
+
+    def test_tails(self):
+        assert normal_quantile(1e-9) < -5
+        assert normal_quantile(1 - 1e-9) > 5
+
+    def test_invalid_input(self):
+        with pytest.raises(ValueError):
+            normal_quantile(0.0)
+        with pytest.raises(ValueError):
+            normal_quantile(1.0)
+
+    @given(st.floats(0.001, 0.999))
+    def test_antisymmetric(self, p):
+        assert math.isclose(normal_quantile(p), -normal_quantile(1 - p), abs_tol=1e-7)
+
+
+class TestWilsonBounds:
+    @given(
+        st.floats(0.0, 1.0),
+        st.integers(1, 10_000),
+        st.floats(0.55, 0.999),
+    )
+    def test_bounds_bracket_estimate(self, p, n, confidence):
+        low = wilson_lower(p, n, confidence)
+        high = wilson_upper(p, n, confidence)
+        assert 0.0 <= low <= p + 1e-12
+        assert p - 1e-12 <= high <= 1.0
+
+    @given(st.floats(0.05, 0.95), st.floats(0.6, 0.99))
+    def test_bounds_tighten_with_n(self, p, confidence):
+        widths = [
+            wilson_upper(p, n, confidence) - wilson_lower(p, n, confidence)
+            for n in (10, 100, 1000)
+        ]
+        assert widths[0] > widths[1] > widths[2]
+
+    @given(st.floats(0.05, 0.95), st.integers(5, 1000))
+    def test_bounds_widen_with_confidence(self, p, n):
+        narrow = wilson_upper(p, n, 0.7) - wilson_lower(p, n, 0.7)
+        wide = wilson_upper(p, n, 0.99) - wilson_lower(p, n, 0.99)
+        assert wide > narrow
+
+    def test_zero_n_is_vacuous(self):
+        assert wilson_lower(0.5, 0, 0.95) == 0.0
+        assert wilson_upper(0.5, 0, 0.95) == 1.0
+
+    def test_pure_proportion_small_n(self):
+        # even a perfectly pure sample of 5 leaves real uncertainty
+        assert wilson_lower(1.0, 5, 0.95) < 0.8
+        assert wilson_lower(1.0, 1000, 0.95) > 0.99
+
+
+class TestClopperPearson:
+    def test_exact_bounds_bracket(self):
+        low = clopper_pearson_lower(0.9, 100, 0.95)
+        high = clopper_pearson_upper(0.9, 100, 0.95)
+        assert low < 0.9 < high
+
+    def test_extreme_proportions(self):
+        assert clopper_pearson_lower(0.0, 50, 0.95) == 0.0
+        assert clopper_pearson_upper(1.0, 50, 0.95) == 1.0
+        # rule of three: upper bound of 0/n at 95 % ≈ 3/n
+        assert math.isclose(clopper_pearson_upper(0.0, 100, 0.95), 0.0295, abs_tol=0.003)
+
+    def test_agrees_with_wilson_roughly(self):
+        for p, n in [(0.5, 200), (0.9, 500), (0.1, 50)]:
+            assert abs(clopper_pearson_upper(p, n, 0.95) - wilson_upper(p, n, 0.95)) < 0.05
+
+
+class TestConfidenceBounds:
+    def test_methods_dispatch(self):
+        wilson = ConfidenceBounds(0.9, IntervalMethod.WILSON)
+        exact = ConfidenceBounds(0.9, IntervalMethod.CLOPPER_PEARSON)
+        assert wilson.left_bound(0.8, 100) != exact.left_bound(0.8, 100)
+        assert wilson.left_bound(0.8, 100) == wilson_lower(0.8, 100, 0.9)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            ConfidenceBounds(0.4)
+        with pytest.raises(ValueError):
+            ConfidenceBounds(1.0)
+
+    def test_pessimistic_error_is_right_bound(self):
+        bounds = ConfidenceBounds(0.75)
+        assert bounds.pessimistic_error(0.1, 50) == bounds.right_bound(0.1, 50)
+        assert bounds.pessimistic_error(0.0, 10) > 0.0  # pessimism on pure leaves

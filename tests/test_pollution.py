@@ -1,0 +1,264 @@
+"""Tests for the controlled-corruption components and pipeline.
+
+The central invariant: the pollution log is *exact ground truth* — every
+difference between the clean and dirty tables is logged, and everything
+logged is a real difference. The property test at the bottom replays the
+log against the clean table and must reproduce the dirty table's corrupted
+rows precisely.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generator import Uniform, base_profile
+from repro.pollution import (
+    Duplicator,
+    Limiter,
+    NullValuePolluter,
+    PollutionLog,
+    PollutionPipeline,
+    RowEventKind,
+    Switcher,
+    WrongValuePolluter,
+    default_polluters,
+)
+from repro.schema import Schema, Table, nominal, numeric
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [
+            nominal("A", ["a", "b", "c"]),
+            nominal("B", ["x", "y"]),
+            numeric("N", 0, 100, integer=True),
+            numeric("M", 0, 100, integer=True),
+        ]
+    )
+
+
+@pytest.fixture
+def table(schema):
+    rng = random.Random(0)
+    rows = [
+        [
+            rng.choice(["a", "b", "c"]),
+            rng.choice(["x", "y"]),
+            rng.randint(0, 100),
+            rng.randint(0, 100),
+        ]
+        for _ in range(200)
+    ]
+    return Table(schema, rows)
+
+
+class TestWrongValuePolluter:
+    def test_changes_logged_exactly(self, table):
+        dirty = table.copy()
+        log = PollutionLog()
+        WrongValuePolluter(0.1).pollute(dirty, random.Random(1), log)
+        diffs = {
+            (i, name)
+            for i in range(table.n_rows)
+            for name in table.schema.names
+            if table.cell(i, name) != dirty.cell(i, name)
+        }
+        assert diffs == log.corrupted_cells()
+        assert len(diffs) > 0
+
+    def test_values_stay_in_domain(self, table):
+        dirty = table.copy()
+        WrongValuePolluter(0.2).pollute(dirty, random.Random(2), PollutionLog())
+        dirty.validate()
+
+    def test_attribute_restriction(self, table):
+        dirty = table.copy()
+        log = PollutionLog()
+        WrongValuePolluter(0.3, attributes=["A"]).pollute(dirty, random.Random(3), log)
+        assert {attr for _, attr in log.corrupted_cells()} == {"A"}
+
+    def test_zero_probability_never_fires(self, table):
+        dirty = table.copy()
+        log = PollutionLog()
+        WrongValuePolluter(0.0).pollute(dirty, random.Random(4), log)
+        assert dirty == table and log.n_cell_changes == 0
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            WrongValuePolluter(1.5)
+
+
+class TestNullValuePolluter:
+    def test_sets_nulls(self, table):
+        dirty = table.copy()
+        log = PollutionLog()
+        NullValuePolluter(0.1).pollute(dirty, random.Random(5), log)
+        assert log.n_cell_changes > 0
+        for change in log.cell_changes:
+            assert change.after is None
+            assert dirty.cell(change.row, change.attribute) is None
+
+    def test_existing_null_not_relogged(self, schema):
+        t = Table(schema, [[None, "x", 1, 2]])
+        log = PollutionLog()
+        NullValuePolluter(1.0, attributes=["A"]).pollute(t, random.Random(6), log)
+        assert log.n_cell_changes == 0
+
+
+class TestLimiter:
+    def test_clips_extremes_only(self, schema):
+        t = Table(schema, [["a", "x", 0, 50], ["b", "y", 100, 50]])
+        log = PollutionLog()
+        Limiter(1.0, lower_fraction=0.1, upper_fraction=0.9).pollute(
+            t, random.Random(7), log
+        )
+        assert t.cell(0, "N") == 10
+        assert t.cell(1, "N") == 90
+        assert t.cell(0, "M") == 50  # interior value untouched
+        assert {(0, "N"), (1, "N")} == log.corrupted_cells()
+
+    def test_ignores_nominal(self, schema):
+        t = Table(schema, [["a", "x", 50, 50]])
+        log = PollutionLog()
+        Limiter(1.0).pollute(t, random.Random(8), log)
+        assert all(attr in ("N", "M") for _, attr in log.corrupted_cells())
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ValueError):
+            Limiter(0.1, lower_fraction=0.9, upper_fraction=0.1)
+
+
+class TestSwitcher:
+    def test_swaps_compatible_pair(self, schema):
+        t = Table(schema, [["a", "x", 10, 99]])
+        log = PollutionLog()
+        Switcher(1.0).pollute(t, random.Random(9), log)
+        row = t.record(0)
+        # values were swapped within a kind-compatible pair
+        assert sorted([row["A"], row["B"]]) == ["a", "x"] or sorted(
+            [row["N"], row["M"]]
+        ) == [10, 99]
+        assert len(log.cell_changes) == 2
+
+    def test_explicit_pairs(self, schema):
+        t = Table(schema, [["a", "x", 10, 99]])
+        log = PollutionLog()
+        Switcher(1.0, pairs=[("N", "M")]).pollute(t, random.Random(10), log)
+        assert t.cell(0, "N") == 99 and t.cell(0, "M") == 10
+
+    def test_equal_values_not_logged(self, schema):
+        t = Table(schema, [["a", "x", 50, 50]])
+        log = PollutionLog()
+        Switcher(1.0, pairs=[("N", "M")]).pollute(t, random.Random(11), log)
+        assert log.n_cell_changes == 0
+
+    def test_incompatible_pairs_excluded_by_default(self, schema):
+        switcher = Switcher(1.0)
+        t = Table(schema, [["a", "x", 1, 2]])
+        pairs = switcher._candidate_pairs(t)
+        assert ("A", "N") not in pairs and ("B", "M") not in pairs
+
+
+class TestDuplicator:
+    def test_duplicates_insert_copies(self, table):
+        dirty = table.copy()
+        log = PollutionLog()
+        Duplicator(0.1, delete_probability=0.0).pollute(dirty, random.Random(12), log)
+        assert dirty.n_rows == table.n_rows + log.n_duplicated
+        for event in log.row_events:
+            assert event.kind is RowEventKind.DUPLICATED
+            assert dirty.row(event.row) == dirty.row(event.row - 1)
+
+    def test_deletes_remove_rows(self, table):
+        dirty = table.copy()
+        log = PollutionLog()
+        Duplicator(0.1, delete_probability=1.0).pollute(dirty, random.Random(13), log)
+        assert dirty.n_rows == table.n_rows - log.n_deleted
+        assert log.n_deleted > 0
+
+    def test_mixed_bookkeeping(self, table):
+        dirty = table.copy()
+        log = PollutionLog()
+        Duplicator(0.15, delete_probability=0.5).pollute(dirty, random.Random(14), log)
+        assert dirty.n_rows == table.n_rows + log.n_duplicated - log.n_deleted
+
+    def test_invalid_delete_probability(self):
+        with pytest.raises(ValueError):
+            Duplicator(0.1, delete_probability=-0.1)
+
+
+class TestPipeline:
+    def test_input_table_untouched(self, table):
+        pipeline = PollutionPipeline(default_polluters())
+        snapshot = table.copy()
+        pipeline.apply(table, random.Random(15))
+        assert table == snapshot
+
+    def test_duplicator_applied_last(self):
+        polluters = [Duplicator(0.1), WrongValuePolluter(0.1)]
+        pipeline = PollutionPipeline(polluters)
+        assert isinstance(pipeline.polluters[-1], Duplicator)
+
+    def test_factor_scales_corruption(self, table):
+        rng1, rng2 = random.Random(16), random.Random(16)
+        low = PollutionPipeline(default_polluters(), factor=0.5)
+        high = PollutionPipeline(default_polluters(), factor=3.0)
+        _, log_low = low.apply(table, rng1)
+        _, log_high = high.apply(table, rng2)
+        assert log_high.n_cell_changes > log_low.n_cell_changes
+
+    def test_factor_zero_is_identity(self, table):
+        pipeline = PollutionPipeline(default_polluters(), factor=0.0)
+        dirty, log = pipeline.apply(table, random.Random(17))
+        assert dirty == table
+        assert log.n_cell_changes == 0 and not log.row_events
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ValueError):
+            PollutionPipeline([], factor=-1.0)
+
+    def test_log_matches_tables_with_structural_changes(self, table):
+        """Ground-truth invariant: for every non-duplicated dirty row, the
+        logged cell changes are exactly the diff against the clean row."""
+        pipeline = PollutionPipeline(default_polluters(), factor=2.0)
+        dirty, log = pipeline.apply(table, random.Random(18))
+        origin = log.row_origins
+        assert origin is not None and len(origin) == dirty.n_rows
+        net = log.net_cell_changes()
+        for dirty_index, clean_index in enumerate(origin):
+            if clean_index is None:
+                continue  # inserted duplicate: compared via its source instead
+            logged = {attr for (row, attr) in net if row == dirty_index}
+            actual = {
+                name
+                for name in table.schema.names
+                if table.cell(clean_index, name) != dirty.cell(dirty_index, name)
+            }
+            assert logged == actual, f"row {dirty_index}: {logged} != {actual}"
+
+
+class TestPollutionOfGeneratedData:
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_end_to_end_ground_truth(self, seed):
+        profile = base_profile(n_rules=10, seed=42)
+        generator = profile.build_generator()
+        clean = generator.generate(80, random.Random(seed))
+        pipeline = PollutionPipeline(default_polluters(), factor=1.5)
+        dirty, log = pipeline.apply(clean, random.Random(seed + 1))
+        origin = log.row_origins
+        assert origin is not None and len(origin) == dirty.n_rows
+        net = log.net_cell_changes()
+        for dirty_index, clean_index in enumerate(origin):
+            if clean_index is None:
+                continue
+            logged = {attr for (row, attr) in net if row == dirty_index}
+            actual = {
+                name
+                for name in clean.schema.names
+                if clean.cell(clean_index, name) != dirty.cell(dirty_index, name)
+            }
+            assert logged == actual

@@ -1,0 +1,180 @@
+"""Property tests of the logic layer over the *full* schema (floats and
+dates included) — the tiny-schema properties in the other modules cannot
+exercise continuous ranges or ordinal date arithmetic."""
+
+import datetime
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic import (
+    And,
+    Eq,
+    EqAttr,
+    Gt,
+    GtAttr,
+    IsNull,
+    Lt,
+    LtAttr,
+    Ne,
+    Or,
+    conjoin,
+    find_model,
+    is_satisfiable,
+    negate,
+)
+from repro.schema import Schema, date, nominal, numeric
+
+FULL = Schema(
+    [
+        nominal("A", ["a", "b", "c"]),
+        numeric("N", 0, 100, integer=True),
+        numeric("M", 0, 100, integer=True),
+        numeric("F", 0.0, 1.0),
+        numeric("G", 0.0, 1.0),
+        date("D", datetime.date(2000, 1, 1), datetime.date(2001, 12, 31)),
+        date("E", datetime.date(2000, 1, 1), datetime.date(2001, 12, 31)),
+    ]
+)
+
+_DATES = st.dates(datetime.date(2000, 1, 1), datetime.date(2001, 12, 31))
+
+
+def atoms():
+    numeric_prop = st.builds(
+        lambda attr, value, op: op(attr, value),
+        st.sampled_from(["N", "M"]),
+        st.integers(0, 100),
+        st.sampled_from([Eq, Ne, Lt, Gt]),
+    )
+    float_prop = st.builds(
+        lambda attr, value, op: op(attr, round(value, 4)),
+        st.sampled_from(["F", "G"]),
+        st.floats(0.0, 1.0, allow_nan=False),
+        st.sampled_from([Lt, Gt]),
+    )
+    date_prop = st.builds(
+        lambda attr, value, op: op(attr, value),
+        st.sampled_from(["D", "E"]),
+        _DATES,
+        st.sampled_from([Eq, Lt, Gt]),
+    )
+    nominal_prop = st.builds(
+        lambda value, op: op("A", value),
+        st.sampled_from(["a", "b", "c"]),
+        st.sampled_from([Eq, Ne]),
+    )
+    null_test = st.builds(IsNull, st.sampled_from(["A", "N", "F", "D"]))
+    relational = st.one_of(
+        st.builds(lambda op: op("N", "M"), st.sampled_from([EqAttr, LtAttr, GtAttr])),
+        st.builds(lambda op: op("F", "G"), st.sampled_from([LtAttr, GtAttr])),
+        st.builds(lambda op: op("D", "E"), st.sampled_from([EqAttr, LtAttr, GtAttr])),
+    )
+    return st.one_of(numeric_prop, float_prop, date_prop, nominal_prop, null_test, relational)
+
+
+def formulas():
+    def connect(children):
+        parts = st.lists(children, min_size=2, max_size=3)
+
+        def build(pair):
+            kind, part_list = pair
+            distinct = []
+            for part in part_list:
+                if part not in distinct:
+                    distinct.append(part)
+            if len(distinct) < 2:
+                return distinct[0]
+            return And(*distinct) if kind == "and" else Or(*distinct)
+
+        return st.tuples(st.sampled_from(["and", "or"]), parts).map(build)
+
+    return st.recursive(atoms(), connect, max_leaves=5)
+
+
+def _empty_record():
+    return {name: None for name in FULL.names}
+
+
+class TestFullSchemaSolver:
+    @settings(max_examples=150, deadline=None)
+    @given(formulas())
+    def test_models_are_genuine(self, formula):
+        model = find_model(formula, FULL, random.Random(3))
+        if model is not None:
+            record = {**_empty_record(), **model}
+            assert formula.evaluate(record)
+
+    @settings(max_examples=150, deadline=None)
+    @given(formulas())
+    def test_sat_and_model_agree(self, formula):
+        # whenever the pragmatic test says SAT, the solver finds a model
+        # on this schema (continuous ranges leave plenty of room)
+        if is_satisfiable(formula, FULL):
+            assert find_model(formula, FULL, random.Random(4)) is not None
+
+    @settings(max_examples=100, deadline=None)
+    @given(formulas())
+    def test_formula_and_negation_not_both_unsat(self, formula):
+        # α ∨ α̃ is a tautology, so at least one side must be satisfiable
+        assert is_satisfiable(formula, FULL) or is_satisfiable(negate(formula), FULL)
+
+    @settings(max_examples=100, deadline=None)
+    @given(formulas(), formulas())
+    def test_conjunction_sat_implies_parts_sat(self, alpha, beta):
+        if is_satisfiable(conjoin([alpha, beta]), FULL):
+            assert is_satisfiable(alpha, FULL)
+            assert is_satisfiable(beta, FULL)
+
+    @settings(max_examples=60, deadline=None)
+    @given(formulas(), st.randoms(use_true_random=False))
+    def test_model_minimality_prefers_base(self, formula, rng):
+        base_model = find_model(formula, FULL, random.Random(5))
+        if base_model is None:
+            return
+        # solving again with a satisfying record as base keeps it unchanged
+        record = {**_empty_record(), **base_model}
+        again = find_model(formula, FULL, random.Random(6), base=record)
+        assert again is not None
+        merged = {**record, **again}
+        assert formula.evaluate(merged)
+
+
+class TestDateArithmetic:
+    def test_date_chain_through_shared_day(self):
+        f = And(
+            LtAttr("D", "E"),
+            Gt("D", datetime.date(2001, 12, 29)),
+        )
+        model = find_model(f, FULL, random.Random(7))
+        assert model == {
+            "D": datetime.date(2001, 12, 30),
+            "E": datetime.date(2001, 12, 31),
+        }
+
+    def test_date_chain_too_tight(self):
+        f = And(
+            LtAttr("D", "E"),
+            Gt("D", datetime.date(2001, 12, 30)),
+        )
+        assert not is_satisfiable(f, FULL)
+
+    def test_equal_dates_link(self):
+        f = And(EqAttr("D", "E"), Eq("D", datetime.date(2000, 6, 1)))
+        model = find_model(f, FULL, random.Random(8))
+        assert model["E"] == datetime.date(2000, 6, 1)
+
+
+class TestFloatRanges:
+    def test_open_interval_model(self):
+        f = And(Gt("F", 0.3), Lt("F", 0.30001))
+        model = find_model(f, FULL, random.Random(9))
+        assert model is not None
+        assert 0.3 < model["F"] < 0.30001
+
+    def test_float_ordering_chain(self):
+        f = And(LtAttr("F", "G"), Gt("F", 0.99))
+        model = find_model(f, FULL, random.Random(10))
+        assert model is not None
+        assert 0.99 < model["F"] < model["G"] <= 1.0

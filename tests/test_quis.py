@@ -1,0 +1,121 @@
+"""Tests for the synthetic QUIS engine-composition substrate."""
+
+import collections
+import random
+
+import pytest
+
+from repro.core import AuditorConfig, DataAuditor
+from repro.quis import generate_clean_quis, generate_quis_sample, quis_schema
+
+
+class TestSchema:
+    def test_eight_attributes(self):
+        schema = quis_schema()
+        assert len(schema) == 8
+        assert set(schema.names) == {
+            "BRV",
+            "GBM",
+            "KBM",
+            "AGGT",
+            "WERK",
+            "HUBRAUM",
+            "PROD_DATUM",
+            "AUFTRAG",
+        }
+
+
+class TestCleanGeneration:
+    @pytest.fixture(scope="class")
+    def clean(self):
+        return generate_clean_quis(20_000, random.Random(42))
+
+    def test_paper_rule_brv404_gbm901(self, clean):
+        violations = sum(
+            1
+            for record in clean.records()
+            if record["BRV"] == "404" and record["GBM"] != "901"
+        )
+        assert violations == 0
+
+    def test_paper_rule_support_fraction(self, clean):
+        # BRV=404 covers ≈ 8.1 % of rows (16118 of ~200 000 in the paper)
+        share = sum(1 for v in clean.column("BRV") if v == "404") / clean.n_rows
+        assert 0.06 <= share <= 0.10
+
+    def test_paper_rule_kbm01_gbm901_brv501(self, clean):
+        violations = sum(
+            1
+            for record in clean.records()
+            if record["KBM"] == "01" and record["GBM"] == "901" and record["BRV"] != "501"
+        )
+        assert violations == 0
+        support = sum(
+            1
+            for record in clean.records()
+            if record["KBM"] == "01" and record["GBM"] == "901"
+        )
+        # ≈ 4.8 % (9530 of ~200 000 in the paper)
+        assert 0.03 <= support / clean.n_rows <= 0.07
+
+    def test_brv_determines_gbm(self, clean):
+        mapping = collections.defaultdict(set)
+        for record in clean.records():
+            mapping[record["BRV"]].add(record["GBM"])
+        assert all(len(values) == 1 for values in mapping.values())
+
+    def test_displacement_bands(self, clean):
+        for record in clean.records():
+            if record["GBM"] == "901":
+                assert 4200 <= record["HUBRAUM"] <= 4800
+
+    def test_plant_windows(self, clean):
+        for record in clean.records():
+            if record["WERK"] == "UT":
+                assert record["PROD_DATUM"].year >= 1999
+
+    def test_schema_valid(self, clean):
+        clean.validate()
+
+
+class TestSample:
+    @pytest.fixture(scope="class")
+    def sample(self):
+        return generate_quis_sample(15_000, seed=7)
+
+    def test_ground_truth_consistency(self, sample):
+        assert sample.log.n_cell_changes > 0
+        assert sample.canonical_row in sample.log.corrupted_rows()
+
+    def test_canonical_error_shape(self, sample):
+        assert sample.dirty.cell(sample.canonical_row, "BRV") == "404"
+        assert sample.dirty.cell(sample.canonical_row, "GBM") == "911"
+
+    def test_error_rate_scales(self):
+        low = generate_quis_sample(5000, seed=1, error_rate=0.001, null_rate=0.0)
+        high = generate_quis_sample(5000, seed=1, error_rate=0.01, null_rate=0.0)
+        assert high.log.n_cell_changes > low.log.n_cell_changes
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            generate_quis_sample(10)
+
+    def test_audit_flags_canonical_error(self, sample):
+        auditor = DataAuditor(sample.schema, AuditorConfig(min_error_confidence=0.8))
+        auditor.fit(sample.dirty)
+        report = auditor.audit(sample.dirty)
+        assert report.is_flagged(sample.canonical_row)
+        gbm_findings = [
+            finding
+            for finding in report.findings_for_row(sample.canonical_row)
+            if finding.attribute == "GBM"
+        ]
+        assert gbm_findings
+        assert gbm_findings[0].predicted_label == "901"
+        assert gbm_findings[0].confidence > 0.9
+        # specificity stays high, as in the paper's evaluation
+        truth = sample.log.corrupted_rows()
+        flagged = set(report.suspicious_rows())
+        false_positives = len(flagged - truth)
+        specificity = 1 - false_positives / (sample.dirty.n_rows - len(truth))
+        assert specificity > 0.97

@@ -1,0 +1,168 @@
+"""Tests for attributes, schemas, and tables."""
+
+import datetime
+
+import pytest
+
+from repro.schema import (
+    Attribute,
+    AttributeKind,
+    NominalDomain,
+    Schema,
+    Table,
+    date,
+    nominal,
+    numeric,
+)
+
+
+class TestAttribute:
+    def test_shorthands(self):
+        a = nominal("A", ["x", "y"])
+        n = numeric("N", 0, 5, integer=True)
+        d = date("D", datetime.date(2000, 1, 1), datetime.date(2000, 2, 1))
+        assert a.kind is AttributeKind.NOMINAL
+        assert n.kind is AttributeKind.NUMERIC
+        assert d.kind is AttributeKind.DATE
+
+    def test_admits_respects_nullability(self):
+        a = nominal("A", ["x"], nullable=False)
+        assert a.admits("x")
+        assert not a.admits(None)
+        assert nominal("B", ["x"]).admits(None)
+
+    def test_admits_checks_domain(self):
+        assert not nominal("A", ["x"]).admits("zzz")
+        assert not numeric("N", 0, 1).admits(2)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Attribute("", NominalDomain(["a"]))
+
+    def test_equality(self):
+        assert nominal("A", ["x"]) == nominal("A", ["x"])
+        assert nominal("A", ["x"]) != nominal("A", ["x"], nullable=False)
+
+
+class TestSchema:
+    def test_lookup(self):
+        schema = Schema([nominal("A", ["x"]), numeric("N", 0, 1)])
+        assert schema.attribute("A").name == "A"
+        assert schema.position("N") == 1
+        assert "A" in schema and "Z" not in schema
+        assert schema.names == ("A", "N")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Schema([nominal("A", ["x"]), nominal("A", ["y"])])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError):
+            Schema([])
+
+    def test_unknown_attribute_raises(self):
+        schema = Schema([nominal("A", ["x"])])
+        with pytest.raises(KeyError):
+            schema.attribute("B")
+        with pytest.raises(KeyError):
+            schema.position("B")
+
+    def test_of_kind_and_ordered(self):
+        schema = Schema(
+            [
+                nominal("A", ["x"]),
+                numeric("N", 0, 1),
+                date("D", datetime.date(2000, 1, 1), datetime.date(2000, 1, 2)),
+            ]
+        )
+        assert [a.name for a in schema.of_kind(AttributeKind.NOMINAL)] == ["A"]
+        assert [a.name for a in schema.ordered_attributes()] == ["N", "D"]
+
+    def test_validate_record(self):
+        schema = Schema([nominal("A", ["x"]), numeric("N", 0, 1)])
+        schema.validate_record({"A": "x", "N": 0.5})
+        with pytest.raises(ValueError, match="missing"):
+            schema.validate_record({"A": "x"})
+        with pytest.raises(ValueError, match="unknown"):
+            schema.validate_record({"A": "x", "N": 0.5, "Z": 1})
+        with pytest.raises(ValueError, match="not admissible"):
+            schema.validate_record({"A": "zzz", "N": 0.5})
+
+    def test_validate_row(self):
+        schema = Schema([nominal("A", ["x"]), numeric("N", 0, 1)])
+        schema.validate_row(["x", 1])
+        with pytest.raises(ValueError, match="cells"):
+            schema.validate_row(["x"])
+        with pytest.raises(ValueError):
+            schema.validate_row(["x", 7])
+
+
+@pytest.fixture
+def small_table() -> Table:
+    schema = Schema([nominal("A", ["x", "y"]), numeric("N", 0, 10, integer=True)])
+    return Table(schema, [["x", 1], ["y", 2], [None, 3]])
+
+
+class TestTable:
+    def test_dimensions(self, small_table):
+        assert small_table.n_rows == 3
+        assert small_table.n_cols == 2
+        assert len(small_table) == 3
+
+    def test_record_view_is_mapping(self, small_table):
+        record = small_table.record(0)
+        assert record["A"] == "x"
+        assert record["N"] == 1
+        assert dict(record) == {"A": "x", "N": 1}
+        assert record.to_dict() == {"A": "x", "N": 1}
+
+    def test_column(self, small_table):
+        assert small_table.column("A") == ["x", "y", None]
+        assert small_table.column("N") == [1, 2, 3]
+
+    def test_cell_access_and_mutation(self, small_table):
+        assert small_table.cell(1, "N") == 2
+        small_table.set_cell(1, "N", 9)
+        assert small_table.cell(1, "N") == 9
+
+    def test_append_positional_and_mapping(self, small_table):
+        small_table.append(["x", 5])
+        small_table.append({"N": 6, "A": "y"})
+        assert small_table.row(3) == ["x", 5]
+        assert small_table.row(4) == ["y", 6]
+
+    def test_append_validate(self, small_table):
+        with pytest.raises(ValueError):
+            small_table.append(["zzz", 5], validate=True)
+
+    def test_copy_is_deep_for_rows(self, small_table):
+        dup = small_table.copy()
+        dup.set_cell(0, "N", 999)
+        assert small_table.cell(0, "N") == 1
+
+    def test_select_and_head(self, small_table):
+        head = small_table.head(2)
+        assert head.n_rows == 2
+        picked = small_table.select([2, 0])
+        assert picked.column("N") == [3, 1]
+
+    def test_delete_row(self, small_table):
+        removed = small_table.delete_row(1)
+        assert removed == ["y", 2]
+        assert small_table.n_rows == 2
+
+    def test_validate_reports_row_index(self):
+        schema = Schema([numeric("N", 0, 1)])
+        table = Table(schema, [[0.5], [42]])
+        with pytest.raises(ValueError, match="row 1"):
+            table.validate()
+
+    def test_records_iteration(self, small_table):
+        names = [r["A"] for r in small_table.records()]
+        assert names == ["x", "y", None]
+
+    def test_equality(self, small_table):
+        assert small_table == small_table.copy()
+        other = small_table.copy()
+        other.set_cell(0, "N", 5)
+        assert small_table != other

@@ -1,0 +1,140 @@
+"""Tests for attribute domains (nominal, numeric, date)."""
+
+import datetime
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.schema import AttributeKind, DateDomain, NominalDomain, NumericDomain
+
+
+class TestNominalDomain:
+    def test_preserves_order_and_size(self):
+        domain = NominalDomain(["c", "a", "b"])
+        assert domain.values == ("c", "a", "b")
+        assert domain.size == 3
+        assert domain.index_of("a") == 1
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            NominalDomain(["a", "a"])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            NominalDomain([])
+
+    def test_rejects_non_string_values(self):
+        with pytest.raises(TypeError):
+            NominalDomain(["a", 3])
+
+    def test_contains(self):
+        domain = NominalDomain(["a", "b"])
+        assert domain.contains("a")
+        assert not domain.contains("z")
+        assert not domain.contains(1)
+        assert None not in domain  # __contains__ treats null as absent
+
+    def test_index_of_unknown_value_raises(self):
+        with pytest.raises(ValueError):
+            NominalDomain(["a"]).index_of("b")
+
+    def test_numeric_view_roundtrip(self):
+        domain = NominalDomain(["a", "b", "c"])
+        for value in domain:
+            assert domain.from_number(domain.to_number(value)) == value
+
+    def test_sample_uniform_stays_in_domain(self):
+        domain = NominalDomain(["a", "b", "c"])
+        rng = random.Random(1)
+        samples = {domain.sample_uniform(rng) for _ in range(100)}
+        assert samples <= set(domain.values)
+        assert len(samples) == 3  # all values reachable
+
+    def test_equality_and_hash(self):
+        assert NominalDomain(["a", "b"]) == NominalDomain(["a", "b"])
+        assert NominalDomain(["a", "b"]) != NominalDomain(["b", "a"])
+        assert hash(NominalDomain(["a"])) == hash(NominalDomain(["a"]))
+
+    def test_kind(self):
+        assert NominalDomain(["a"]).kind is AttributeKind.NOMINAL
+
+
+class TestNumericDomain:
+    def test_bounds_inclusive(self):
+        domain = NumericDomain(0, 10)
+        assert domain.contains(0) and domain.contains(10)
+        assert not domain.contains(-0.001) and not domain.contains(10.001)
+
+    def test_integer_domain_excludes_fractions(self):
+        domain = NumericDomain(0, 10, integer=True)
+        assert domain.contains(5)
+        assert not domain.contains(5.5)
+        assert domain.contains(5.0)  # integral float admitted
+
+    def test_rejects_bool(self):
+        assert not NumericDomain(0, 1).contains(True)
+        with pytest.raises(TypeError):
+            NumericDomain(True, 1)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            NumericDomain(5, 4)
+
+    def test_sample_uniform_in_bounds(self):
+        domain = NumericDomain(2, 7, integer=True)
+        rng = random.Random(2)
+        for _ in range(50):
+            value = domain.sample_uniform(rng)
+            assert domain.contains(value)
+            assert isinstance(value, int)
+
+    def test_from_number_clamps(self):
+        domain = NumericDomain(0, 10, integer=True)
+        assert domain.from_number(-3.0) == 0
+        assert domain.from_number(99.0) == 10
+        assert domain.from_number(4.4) == 4
+
+    @given(st.floats(min_value=-5, max_value=5, allow_nan=False))
+    def test_float_roundtrip_within_bounds(self, x):
+        domain = NumericDomain(-5.0, 5.0)
+        assert domain.contains(domain.from_number(x))
+
+
+class TestDateDomain:
+    def test_bounds(self):
+        domain = DateDomain(datetime.date(2000, 1, 1), datetime.date(2000, 12, 31))
+        assert domain.contains(datetime.date(2000, 6, 1))
+        assert not domain.contains(datetime.date(1999, 12, 31))
+        assert domain.n_days == 366  # 2000 is a leap year
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            DateDomain(datetime.date(2001, 1, 1), datetime.date(2000, 1, 1))
+
+    def test_rejects_non_dates(self):
+        with pytest.raises(TypeError):
+            DateDomain("2000-01-01", datetime.date(2000, 2, 1))
+
+    def test_numeric_view_is_ordinal(self):
+        domain = DateDomain(datetime.date(2000, 1, 1), datetime.date(2000, 12, 31))
+        d = datetime.date(2000, 3, 15)
+        assert domain.to_number(d) == float(d.toordinal())
+        assert domain.from_number(domain.to_number(d)) == d
+
+    def test_from_number_clamps_to_domain(self):
+        domain = DateDomain(datetime.date(2000, 1, 1), datetime.date(2000, 1, 31))
+        assert domain.from_number(0.0) == datetime.date(2000, 1, 1)
+
+    def test_sample_uniform_in_bounds(self):
+        domain = DateDomain(datetime.date(2000, 1, 1), datetime.date(2000, 1, 10))
+        rng = random.Random(3)
+        values = {domain.sample_uniform(rng) for _ in range(200)}
+        assert all(domain.contains(v) for v in values)
+        assert len(values) == 10  # every day reachable
+
+    def test_kind_is_ordered(self):
+        domain = DateDomain(datetime.date(2000, 1, 1), datetime.date(2000, 1, 2))
+        assert domain.kind is AttributeKind.DATE
+        assert domain.kind.is_ordered

@@ -1,0 +1,126 @@
+"""Tests for the fig.-2 experiment pipeline, sweeps, and calibration."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import AuditorConfig
+from repro.testenv import (
+    Candidate,
+    ExperimentConfig,
+    TestEnvironment,
+    calibrate,
+    format_series,
+    run_experiment,
+    sweep_pollution_factor,
+    sweep_records,
+    sweep_rules,
+)
+
+#: small but non-trivial settings keeping the whole module < ~1 min
+SMALL = ExperimentConfig(n_records=800, n_rules=25, profile_seed=5, data_seed=6)
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return run_experiment(SMALL)
+
+
+class TestRunExperiment:
+    def test_pipeline_produces_consistent_tables(self, small_result):
+        result = small_result
+        assert result.clean.n_rows == SMALL.n_records
+        # duplicator may add/remove rows
+        assert abs(result.dirty.n_rows - result.clean.n_rows) <= 50
+        assert result.log.row_origins is not None
+
+    def test_some_corruption_and_detection(self, small_result):
+        result = small_result
+        assert result.log.n_cell_changes > 0
+        assert 0.0 <= result.sensitivity <= 1.0
+        assert result.specificity > 0.9
+
+    def test_timings_recorded(self, small_result):
+        result = small_result
+        assert result.generate_seconds > 0
+        assert result.fit_seconds > 0
+        assert result.audit_seconds > 0
+
+    def test_summary_readable(self, small_result):
+        text = result = small_result.summary()
+        assert "sensitivity=" in text and "specificity=" in text
+
+    def test_deterministic_in_seeds(self):
+        first = run_experiment(SMALL)
+        second = run_experiment(SMALL)
+        assert first.sensitivity == second.sensitivity
+        assert first.log.n_cell_changes == second.log.n_cell_changes
+
+
+class TestEnvironmentCaching:
+    def test_profile_cache_reused(self):
+        environment = TestEnvironment()
+        p1 = environment.profile_for(10, 3)
+        p2 = environment.profile_for(10, 3)
+        assert p1 is p2
+        assert environment.profile_for(11, 3) is not p1
+
+
+class TestSweeps:
+    def test_record_sweep_varies_only_records(self):
+        environment = TestEnvironment()
+        points = sweep_records([300, 600], base=SMALL, environment=environment)
+        assert [x for x, _ in points] == [300.0, 600.0]
+        assert points[0][1].clean.n_rows == 300
+        assert points[1][1].clean.n_rows == 600
+
+    def test_rule_sweep_zero_rules_supported(self):
+        environment = TestEnvironment()
+        points = sweep_rules([0], base=dataclasses.replace(SMALL, n_records=300), environment=environment)
+        (x, result), = points
+        assert x == 0.0
+        # with no rules there is no structure: (almost) nothing detectable
+        assert result.sensitivity <= 0.2
+
+    def test_factor_sweep_increases_corruption(self):
+        environment = TestEnvironment()
+        points = sweep_pollution_factor([0.5, 3.0], base=SMALL, environment=environment)
+        low, high = points[0][1], points[1][1]
+        assert high.log.n_cell_changes > low.log.n_cell_changes
+
+    def test_format_series(self):
+        environment = TestEnvironment()
+        points = sweep_records([300], base=SMALL, environment=environment)
+        text = format_series("Figure 3", "records", points)
+        assert "Figure 3" in text and "sensitivity" in text
+        assert "300" in text
+
+
+class TestCalibration:
+    def test_ranks_candidates(self):
+        candidates = [
+            Candidate("strict", AuditorConfig(min_error_confidence=0.95)),
+            Candidate("lenient", AuditorConfig(min_error_confidence=0.6)),
+        ]
+        outcomes = calibrate(candidates, base=SMALL, specificity_floor=0.9)
+        assert len(outcomes) == 2
+        assert outcomes[0].specificity >= 0.9
+        names = {o.candidate.name for o in outcomes}
+        assert names == {"strict", "lenient"}
+
+    def test_custom_score(self):
+        candidates = [
+            Candidate("a", AuditorConfig(min_error_confidence=0.9)),
+            Candidate("b", AuditorConfig(min_error_confidence=0.8)),
+        ]
+        outcomes = calibrate(
+            candidates,
+            base=SMALL,
+            score=lambda outcome: 1.0 if outcome.candidate.name == "b" else 0.0,
+        )
+        assert outcomes[0].candidate.name == "b"
+
+    def test_summary(self):
+        candidates = [Candidate("only", AuditorConfig())]
+        (outcome,) = calibrate(candidates, base=SMALL)
+        assert "only" in outcome.summary()

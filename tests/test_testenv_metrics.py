@@ -1,0 +1,140 @@
+"""Tests for the sec.-4.3 performance measures."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.findings import AuditReport, Finding
+from repro.pollution import PollutionLog
+from repro.schema import Schema, Table, nominal
+from repro.testenv import ConfusionMatrix, CorrectionMatrix, evaluate_audit
+
+
+class TestConfusionMatrix:
+    def test_perfect_tool(self):
+        m = ConfusionMatrix(true_positive=10, false_negative=0, false_positive=0, true_negative=90)
+        assert m.sensitivity == 1.0
+        assert m.specificity == 1.0
+        assert m.precision == 1.0
+        assert m.accuracy == 1.0
+
+    def test_blind_tool(self):
+        m = ConfusionMatrix(true_positive=0, false_negative=10, false_positive=0, true_negative=90)
+        assert m.sensitivity == 0.0
+        assert m.specificity == 1.0
+
+    def test_partial(self):
+        m = ConfusionMatrix(true_positive=3, false_negative=7, false_positive=1, true_negative=89)
+        assert m.sensitivity == pytest.approx(0.3)
+        assert m.specificity == pytest.approx(89 / 90)
+        assert m.precision == pytest.approx(0.75)
+        assert m.prevalence == pytest.approx(0.1)
+        assert m.recall == m.sensitivity
+
+    def test_empty_denominators(self):
+        m = ConfusionMatrix(0, 0, 0, 0)
+        assert m.sensitivity == 0.0
+        assert m.specificity == 1.0
+        assert m.precision == 1.0
+
+    def test_table_layout(self):
+        m = ConfusionMatrix(1, 2, 3, 4)
+        text = m.to_table()
+        assert "tool's opinion" in text
+        assert "incorrect data" in text
+
+    @given(st.integers(0, 1000), st.integers(0, 1000), st.integers(0, 1000), st.integers(0, 1000))
+    def test_measures_in_unit_interval(self, tp, fn, fp, tn):
+        m = ConfusionMatrix(tp, fn, fp, tn)
+        for value in (m.sensitivity, m.specificity, m.precision, m.accuracy, m.prevalence):
+            assert 0.0 <= value <= 1.0
+
+
+class TestCorrectionMatrix:
+    def test_paper_formula(self):
+        # quality = ((c+d) − (b+d)) / (c+d)
+        m = CorrectionMatrix(a=80, b=2, c=15, d=3)
+        assert m.errors_before == 18
+        assert m.errors_after == 5
+        assert m.quality == pytest.approx((18 - 5) / 18)
+
+    def test_degradation_is_negative(self):
+        m = CorrectionMatrix(a=90, b=8, c=1, d=1)
+        assert m.quality < 0
+
+    def test_nothing_to_correct(self):
+        assert CorrectionMatrix(a=100, b=0, c=0, d=0).quality == 0.0
+
+    def test_perfect_correction(self):
+        assert CorrectionMatrix(a=90, b=0, c=10, d=0).quality == 1.0
+
+    def test_table_layout(self):
+        assert "after correction" in CorrectionMatrix(1, 2, 3, 4).to_table()
+
+
+class TestEvaluateAudit:
+    @pytest.fixture
+    def setting(self):
+        schema = Schema([nominal("A", ["a", "b"]), nominal("B", ["x", "y"])])
+        clean = Table(schema, [["a", "x"], ["a", "x"], ["b", "y"], ["b", "y"]])
+        dirty = clean.copy()
+        log = PollutionLog(clean.n_rows)
+        # corrupt rows 1 and 3
+        dirty.set_cell(1, "B", "y")
+        log.record_cell(1, "B", "x", "y", "test")
+        dirty.set_cell(3, "A", "a")
+        log.record_cell(3, "A", "b", "a", "test")
+        return schema, clean, dirty, log
+
+    def _report(self, findings, n_rows=4, min_conf=0.8):
+        confidence = [0.0] * n_rows
+        for finding in findings:
+            confidence[finding.row] = max(confidence[finding.row], finding.confidence)
+        return AuditReport(n_rows, findings, confidence, min_conf)
+
+    def test_exact_detection(self, setting):
+        schema, clean, dirty, log = setting
+        findings = [
+            Finding(1, "B", "y", "y", "x", 0.9, 100, "x"),
+            Finding(3, "A", "a", "a", "b", 0.85, 100, "b"),
+        ]
+        result = evaluate_audit(self._report(findings), log, clean, dirty)
+        assert result.records.true_positive == 2
+        assert result.records.false_positive == 0
+        assert result.records.false_negative == 0
+        assert result.sensitivity == 1.0 and result.specificity == 1.0
+        assert result.cells.true_positive == 2
+
+    def test_false_positive_counted(self, setting):
+        schema, clean, dirty, log = setting
+        findings = [Finding(0, "A", "a", "a", "b", 0.9, 100, "b")]
+        result = evaluate_audit(self._report(findings), log, clean, dirty)
+        assert result.records.false_positive == 1
+        assert result.records.false_negative == 2
+        assert result.sensitivity == 0.0
+
+    def test_correction_quality_positive_when_fixed(self, setting):
+        schema, clean, dirty, log = setting
+        findings = [Finding(1, "B", "y", "y", "x", 0.9, 100, "x")]
+        result = evaluate_audit(self._report(findings), log, clean, dirty)
+        # one of two corrupted cells repaired
+        assert result.correction.c == 1
+        assert result.correction.d == 1
+        assert result.correction_quality == pytest.approx(0.5)
+
+    def test_wrong_correction_degrades(self, setting):
+        schema, clean, dirty, log = setting
+        # flag a clean row and "correct" it wrongly
+        findings = [Finding(0, "B", "x", "x", "y", 0.9, 100, "y")]
+        result = evaluate_audit(self._report(findings), log, clean, dirty)
+        assert result.correction.b == 1
+        assert result.correction_quality < 0
+
+    def test_cell_level_attribution(self, setting):
+        schema, clean, dirty, log = setting
+        # right row, wrong attribute: record-level TP but cell-level FP+FN
+        findings = [Finding(1, "A", "a", "a", "b", 0.9, 100, "b")]
+        result = evaluate_audit(self._report(findings), log, clean, dirty)
+        assert result.records.true_positive == 1
+        assert result.cells.true_positive == 0
+        assert result.cells.false_positive == 1

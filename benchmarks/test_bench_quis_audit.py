@@ -13,20 +13,27 @@ high-nineties confidence, the suspicious-record share is in the
 low-percent range, and the run completes at interactive speed.
 """
 
-from repro.core import AuditorConfig, DataAuditor
+from repro.core import AuditorConfig, AuditReport, AuditSession
 from repro.quis import generate_quis_sample
 
 N_RECORDS = 60_000
 PAPER_SCALE = 200_000
+#: online chunk size of the streamed detection run (sec. 2.2's
+#: warehouse-loading scenario: fit offline, check arriving loads in chunks)
+CHUNK_SIZE = 20_000
 
 
 def test_quis_sample_audit(benchmark, record_table):
     sample = generate_quis_sample(N_RECORDS, seed=2003)
-    auditor = DataAuditor(sample.schema, AuditorConfig(min_error_confidence=0.8))
+    session = AuditSession(sample.schema, AuditorConfig(min_error_confidence=0.8))
 
     def detection_run():
-        auditor.fit(sample.dirty)
-        return auditor.audit(sample.dirty)
+        session.fit(sample.dirty)
+        chunks = (
+            sample.dirty.select(range(start, min(start + CHUNK_SIZE, N_RECORDS)))
+            for start in range(0, N_RECORDS, CHUNK_SIZE)
+        )
+        return AuditReport.merge(session.audit_chunks(chunks))
 
     report = benchmark.pedantic(detection_run, rounds=1, iterations=1)
 

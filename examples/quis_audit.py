@@ -19,7 +19,7 @@ Run with:  python examples/quis_audit.py [n_records]
 import sys
 import time
 
-from repro import AuditorConfig, DataAuditor
+from repro import AuditorConfig, AuditSession
 from repro.quis import generate_quis_sample
 
 
@@ -29,10 +29,10 @@ def main(n_records: int = 50_000) -> None:
     print(f"  seeded corruption: {sample.log.n_cell_changes} cells "
           f"in {len(sample.log.corrupted_rows())} records\n")
 
-    auditor = DataAuditor(sample.schema, AuditorConfig(min_error_confidence=0.8))
+    session = AuditSession(sample.schema, AuditorConfig(min_error_confidence=0.8))
     started = time.perf_counter()
-    auditor.fit(sample.dirty)
-    report = auditor.audit(sample.dirty)
+    session.fit(sample.dirty)
+    report = session.audit(sample.dirty)
     elapsed = time.perf_counter() - started
     print(f"error detection took {elapsed:.1f}s "
           f"and revealed {report.n_suspicious} suspicious records\n")
@@ -53,9 +53,9 @@ def main(n_records: int = 50_000) -> None:
         print(f"  {finding.describe()}")
 
     print("\ninduced dependencies involving BRV/GBM (the paper's examples):")
-    model = auditor.structure_model()
+    model = session.auditor.structure_model()
     for attr in ("GBM", "BRV"):
-        dataset = auditor.classifiers[attr].dataset
+        dataset = session.auditor.classifiers[attr].dataset
         for rule in model.get(attr, [])[:3]:
             print(f"  {rule.describe(dataset, attr)}")
 

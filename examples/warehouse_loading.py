@@ -4,13 +4,16 @@
 *"While the time-consuming structure induction can be prepared off-line,
 new data can be checked for deviations and loaded quickly."*
 
-This script plays both roles:
+This script plays both roles, through the streaming
+:class:`~repro.core.session.AuditSession` API:
 
 * the **offline** job induces the structure model from the historical
   warehouse content and persists it as JSON;
-* the **online** load job reloads the model (no training data needed) and
-  screens an incoming batch in milliseconds, splitting it into records to
-  load and records to quarantine for the quality engineer.
+* the **online** load job resumes the session from the model (no training
+  data needed) and screens the incoming load *as it arrives*, chunk by
+  chunk — each chunk's report is available immediately for the
+  load/quarantine decision, and the merged report equals the audit of the
+  whole load.
 
 Run with:  python examples/warehouse_loading.py
 """
@@ -20,7 +23,7 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro import AuditorConfig, DataAuditor, load_auditor, save_auditor
+from repro import AuditorConfig, AuditReport, AuditSession
 from repro.quis import generate_clean_quis, generate_quis_sample
 
 
@@ -28,22 +31,22 @@ def offline_structure_induction(model_path: Path) -> None:
     """Nightly job: induce and persist the structure model."""
     print("=== offline: structure induction on warehouse history ===")
     sample = generate_quis_sample(30_000, seed=11, error_rate=0.002)
-    auditor = DataAuditor(sample.schema, AuditorConfig(min_error_confidence=0.9))
+    session = AuditSession(sample.schema, AuditorConfig(min_error_confidence=0.9))
     started = time.perf_counter()
-    auditor.fit(sample.dirty)
+    session.fit(sample.dirty)
     print(f"  induction over {sample.dirty.n_rows} records: "
           f"{time.perf_counter() - started:.1f}s")
-    save_auditor(auditor, model_path)
+    session.save(model_path)
     print(f"  structure model persisted to {model_path} "
           f"({model_path.stat().st_size / 1024:.0f} KiB)")
 
 
 def online_load_check(model_path: Path) -> None:
-    """Load-time job: screen a fresh batch against the persisted model."""
-    print("\n=== online: deviation check of an incoming batch ===")
-    auditor = load_auditor(model_path)
+    """Load-time job: screen an arriving load against the persisted model."""
+    print("\n=== online: streaming deviation check of an incoming load ===")
+    session = AuditSession.load(model_path)
 
-    # an incoming batch: mostly fine, a few corrupted records
+    # an incoming load: mostly fine, a few corrupted records
     rng = random.Random(99)
     batch = generate_clean_quis(2_000, rng)
     corrupted_rows = [17, 303, 1500]
@@ -51,11 +54,22 @@ def online_load_check(model_path: Path) -> None:
     batch.set_cell(303, "HUBRAUM", 15900)  # displacement out of band
     batch.set_cell(1500, "WERK", None)   # lost plant code
 
+    # the load arrives in chunks; each chunk is screened on arrival
+    chunk_size = 500
+    chunks = (
+        batch.select(range(start, min(start + chunk_size, batch.n_rows)))
+        for start in range(0, batch.n_rows, chunk_size)
+    )
     started = time.perf_counter()
-    report = auditor.audit(batch)
+    reports = []
+    for report in session.audit_chunks(chunks):
+        reports.append(report)
+        print(f"  chunk {len(reports)}: {report.n_rows} records screened, "
+              f"{report.n_suspicious} quarantined")
     elapsed = time.perf_counter() - started
+    report = AuditReport.merge(reports)
     print(f"  checked {batch.n_rows} records in {elapsed * 1000:.0f} ms "
-          f"(no re-training)")
+          f"(no re-training, memory bounded by the chunk size)")
 
     quarantine = set(report.suspicious_rows())
     print(f"  loading {batch.n_rows - len(quarantine)} records, "

@@ -10,10 +10,14 @@ The package mirrors the paper's architecture:
   generator (sec. 4.1);
 * :mod:`repro.pollution` — controlled, logged data corruption (sec. 4.2);
 * :mod:`repro.mining` — the auditing-adjusted C4.5 decision tree and the
-  alternative classifiers (sec. 5);
+  alternative classifiers (sec. 5), all speaking the batch-first
+  :class:`~repro.mining.base.AttributeClassifier` protocol (whole encoded
+  column arrays in, a distribution matrix + support vector out);
 * :mod:`repro.core` — the data auditing tool itself: multiple
   classification / regression, error confidence, rankings, corrections,
-  persistence (secs. 2.2, 5);
+  persistence, and the streaming :class:`~repro.core.session.AuditSession`
+  facade for the offline-fit / online-check warehouse-loading split
+  (secs. 2.2, 5);
 * :mod:`repro.testenv` — the fig.-2 benchmark pipeline, sec.-4.3 metrics,
   figure sweeps, and the fig.-1 calibration loop;
 * :mod:`repro.quis` — the synthetic QUIS engine-composition case-study
@@ -25,17 +29,30 @@ Quickstart::
 
     result = run_experiment(ExperimentConfig(n_records=2000, n_rules=50))
     print(result.summary())
+
+Warehouse-scale streaming audit (sec. 2.2)::
+
+    from repro import AuditSession
+
+    session = AuditSession(schema).fit(history)      # offline, slow
+    session.save("model.json")
+
+    session = AuditSession.load("model.json")        # online, fast
+    for report in session.audit_csv_stream("load.csv", chunk_size=10_000):
+        quarantine(report.suspicious_rows())
 """
 
 from repro.core import (
     AuditorConfig,
     AuditReport,
+    AuditSession,
     Correction,
     DataAuditor,
     Finding,
     auditor_from_dict,
     auditor_to_dict,
     error_confidence,
+    error_confidence_batch,
     expected_error_confidence,
     load_auditor,
     min_instances_for_confidence,
@@ -53,11 +70,14 @@ from repro.generator import (
 )
 from repro.logic import Rule, find_model, implies, is_natural_rule_set, is_satisfiable
 from repro.mining import (
+    AttributeClassifier,
+    BatchPrediction,
     ConfidenceBounds,
     IntervalMethod,
     KnnClassifier,
     NaiveBayesClassifier,
     OneRClassifier,
+    Prediction,
     PrismClassifier,
     PruningStrategy,
     TreeClassifier,
@@ -86,6 +106,7 @@ from repro.schema import (
     nominal,
     numeric,
     read_csv,
+    read_csv_chunks,
     write_csv,
 )
 from repro.testenv import (
@@ -102,7 +123,7 @@ from repro.testenv import (
     sweep_rules,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -118,6 +139,7 @@ __all__ = [
     "numeric",
     "date",
     "read_csv",
+    "read_csv_chunks",
     "write_csv",
     # logic
     "Rule",
@@ -145,6 +167,9 @@ __all__ = [
     # mining
     "ConfidenceBounds",
     "IntervalMethod",
+    "AttributeClassifier",
+    "Prediction",
+    "BatchPrediction",
     "TreeClassifier",
     "TreeConfig",
     "PruningStrategy",
@@ -155,10 +180,12 @@ __all__ = [
     # core
     "DataAuditor",
     "AuditorConfig",
+    "AuditSession",
     "AuditReport",
     "Finding",
     "Correction",
     "error_confidence",
+    "error_confidence_batch",
     "expected_error_confidence",
     "record_error_confidence",
     "min_instances_for_confidence",

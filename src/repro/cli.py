@@ -22,6 +22,12 @@ Example session::
     repro audit    --model model.json --input dirty.csv --top 10
     repro evaluate --schema schema.json --clean clean.csv --dirty dirty.csv \
                    --log truth.json --model model.json
+
+``repro audit --chunk-size N`` streams the input CSV through an
+:class:`~repro.core.session.AuditSession` in N-row chunks (sec. 2.2's
+online load check: memory stays bounded by the chunk size plus the
+findings retained for ranking, not by the load's row count);
+``--format jsonl`` emits machine-readable findings.
 """
 
 from __future__ import annotations
@@ -34,8 +40,11 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro import __version__
 from repro.core.auditor import AuditorConfig, DataAuditor
+from repro.core.findings import Finding
 from repro.core.serialize import load_auditor, save_auditor
+from repro.core.session import AuditSession
 from repro.generator.profiles import base_profile, base_schema
 from repro.pollution.log import PollutionLog
 from repro.pollution.pipeline import PollutionPipeline, default_polluters
@@ -53,6 +62,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Data auditing tools (VLDB 2003 reproduction): "
         "generate, pollute, fit, audit, evaluate.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -99,6 +111,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_audit.add_argument("--input", required=True, type=Path)
     p_audit.add_argument("--findings-out", type=Path)
     p_audit.add_argument("--top", type=int, default=10)
+    p_audit.add_argument(
+        "--chunk-size",
+        type=int,
+        help="stream the input in chunks of this many rows (bounded memory)",
+    )
+    p_audit.add_argument(
+        "--format",
+        choices=("csv", "jsonl"),
+        default="csv",
+        help="findings output format; jsonl without --findings-out "
+        "writes one JSON object per finding to stdout",
+    )
 
     p_evaluate = sub.add_parser(
         "evaluate", help="sec. 4.3 metrics against a pollution log"
@@ -185,36 +209,114 @@ def _cmd_fit(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_audit(args: argparse.Namespace) -> int:
-    auditor = load_auditor(args.model)
-    table = read_csv(auditor.schema, args.input)
-    report = auditor.audit(table)
-    print(
-        f"audited {table.n_rows} records: {report.n_suspicious} suspicious, "
-        f"{len(report.findings)} findings at ≥ "
-        f"{report.min_error_confidence:.0%} confidence"
-    )
-    for finding in report.ranked_findings(args.top):
-        print(f"  {finding.describe()}")
+def _load_model(path: Path) -> DataAuditor:
+    """Load a persisted auditor, turning the many ways a model file can be
+    broken (missing, not JSON, wrong format, truncated payload, unfitted)
+    into one clear CLI error instead of a traceback."""
+    try:
+        auditor = load_auditor(path)
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read model file {path}: {exc}") from exc
+    except (json.JSONDecodeError, ValueError, KeyError, TypeError) as exc:
+        raise SystemExit(
+            f"error: {path} is not a valid auditor model "
+            f"(expected the JSON written by 'repro fit'): {exc}"
+        ) from exc
+    if not auditor.classifiers:
+        raise SystemExit(
+            f"error: model {path} contains no fitted classifiers; "
+            f"re-run 'repro fit' to induce a structure model"
+        )
+    return auditor
+
+
+def _finding_to_json(finding: Finding) -> dict:
+    proposal = finding.proposal
+    observed = finding.observed_value
+    return {
+        "row": finding.row,
+        "attribute": finding.attribute,
+        "observed": observed if _json_safe(observed) else str(observed),
+        "observed_label": finding.observed_label,
+        "expected": finding.predicted_label,
+        "confidence": round(finding.confidence, 6),
+        "support": round(finding.support, 2),
+        "proposal": proposal if _json_safe(proposal) else str(proposal),
+    }
+
+
+def _json_safe(value) -> bool:
+    return value is None or isinstance(value, (str, int, float, bool))
+
+
+def _write_findings(findings: list[Finding], args: argparse.Namespace) -> None:
     if args.findings_out:
         with open(args.findings_out, "w", newline="", encoding="utf-8") as handle:
-            writer = csv.writer(handle)
-            writer.writerow(
-                ["row", "attribute", "observed", "expected", "confidence", "support", "proposal"]
-            )
-            for finding in report.findings:
+            if args.format == "jsonl":
+                for finding in findings:
+                    handle.write(json.dumps(_finding_to_json(finding)) + "\n")
+            else:
+                writer = csv.writer(handle)
                 writer.writerow(
-                    [
-                        finding.row,
-                        finding.attribute,
-                        finding.observed_value,
-                        finding.predicted_label,
-                        f"{finding.confidence:.6f}",
-                        f"{finding.support:.2f}",
-                        finding.proposal,
-                    ]
+                    ["row", "attribute", "observed", "expected", "confidence", "support", "proposal"]
                 )
+                for finding in findings:
+                    writer.writerow(
+                        [
+                            finding.row,
+                            finding.attribute,
+                            finding.observed_value,
+                            finding.predicted_label,
+                            f"{finding.confidence:.6f}",
+                            f"{finding.support:.2f}",
+                            finding.proposal,
+                        ]
+                    )
         print(f"wrote all findings to {args.findings_out}")
+    elif args.format == "jsonl":
+        for finding in findings:
+            print(json.dumps(_finding_to_json(finding)))
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    auditor = _load_model(args.model)
+    quiet = args.format == "jsonl" and not args.findings_out
+    if args.chunk_size is not None:
+        if args.chunk_size < 1:
+            raise SystemExit("error: --chunk-size must be at least 1")
+        # keep only the findings across chunks (the output), never the
+        # per-row confidences — peak memory must not grow with row count
+        session = AuditSession(auditor=auditor)
+        collected: list[Finding] = []
+        n_rows = 0
+        n_chunks = 0
+        for chunk_report in session.audit_csv_stream(
+            args.input, chunk_size=args.chunk_size
+        ):
+            n_chunks += 1
+            n_rows += chunk_report.n_rows
+            collected.extend(chunk_report.findings)
+            if not quiet:
+                print(
+                    f"  chunk {n_chunks}: {chunk_report.n_rows} records, "
+                    f"{chunk_report.n_suspicious} suspicious"
+                )
+        findings = sorted(collected, key=lambda f: (-f.confidence, f.row, f.attribute))
+    else:
+        table = read_csv(auditor.schema, args.input)
+        report = auditor.audit(table)
+        findings = report.findings
+        n_rows = report.n_rows
+    n_suspicious = len({finding.row for finding in findings})
+    if not quiet:
+        print(
+            f"audited {n_rows} records: {n_suspicious} suspicious, "
+            f"{len(findings)} findings at ≥ "
+            f"{auditor.config.min_error_confidence:.0%} confidence"
+        )
+        for finding in findings[: args.top]:
+            print(f"  {finding.describe()}")
+    _write_findings(findings, args)
     return 0
 
 
@@ -224,7 +326,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     dirty = read_csv(schema, args.dirty)
     with open(args.log, "r", encoding="utf-8") as handle:
         log = PollutionLog.from_dict(json.load(handle))
-    auditor = load_auditor(args.model)
+    auditor = _load_model(args.model)
     report = auditor.audit(dirty)
     result = evaluate_audit(report, log, clean, dirty)
     print(result.records.to_table())

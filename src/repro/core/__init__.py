@@ -2,13 +2,15 @@
 
 Multiple classification / regression auditor (sec. 5), error-confidence
 measures (Defs. 7–9), ranked findings and correction proposals
-(sec. 5.2–5.3), structure model, and model persistence for the
-asynchronous warehouse-loading workflow (sec. 2.2).
+(sec. 5.2–5.3), structure model, model persistence and the streaming
+:class:`~repro.core.session.AuditSession` facade for the asynchronous
+warehouse-loading workflow (sec. 2.2).
 """
 
 from repro.core.auditor import AuditorConfig, DataAuditor
 from repro.core.confidence import (
     error_confidence,
+    error_confidence_batch,
     error_confidence_from_counts,
     expected_error_confidence,
     min_instances_for_confidence,
@@ -22,14 +24,17 @@ from repro.core.serialize import (
     load_auditor,
     save_auditor,
 )
+from repro.core.session import AuditSession
 
 __all__ = [
     "DataAuditor",
     "AuditorConfig",
+    "AuditSession",
     "AuditReport",
     "Finding",
     "Correction",
     "error_confidence",
+    "error_confidence_batch",
     "error_confidence_from_counts",
     "expected_error_confidence",
     "min_instances_for_confidence",

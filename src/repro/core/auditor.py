@@ -30,7 +30,10 @@ import numpy as np
 
 from repro.core.findings import AuditReport, Finding
 from repro.mining.base import AttributeClassifier
-from repro.mining.confidence import error_confidence, min_instances_for_confidence
+from repro.mining.confidence import (
+    error_confidence_batch,
+    min_instances_for_confidence,
+)
 from repro.mining.dataset import Dataset
 from repro.mining.intervals import ConfidenceBounds
 from repro.mining.tree.grow import TreeConfig
@@ -99,27 +102,6 @@ class AuditorConfig:
         return factory(self)
 
 
-class _ArrayRow(Mapping):
-    """A zero-copy record view over pre-encoded column arrays (prediction
-    only touches the attributes along a tree path, so building a dict per
-    row per classifier would dominate audit time)."""
-
-    __slots__ = ("columns", "index")
-
-    def __init__(self, columns: Mapping[str, np.ndarray]):
-        self.columns = columns
-        self.index = 0
-
-    def __getitem__(self, name: str):
-        return self.columns[name][self.index]
-
-    def __iter__(self):
-        return iter(self.columns)
-
-    def __len__(self) -> int:
-        return len(self.columns)
-
-
 class DataAuditor:
     """The paper's data auditing tool (structure induction + deviation
     detection + correction proposal)."""
@@ -172,6 +154,14 @@ class DataAuditor:
         auditing tool should work both when training sets and test data
         are separate and when there is only a single database which serves
         both for training and data audit") or a fresh load.
+
+        The check runs batch-first: every classifier receives whole
+        encoded column arrays via
+        :meth:`~repro.mining.base.AttributeClassifier.predict_batch` and
+        the Def.-7 confidences are computed vectorized. Base-attribute
+        encoders are deterministic per schema attribute, so each table
+        column is encoded once and shared across all classifiers that use
+        it instead of being rebuilt per class attribute.
         """
         if not self.classifiers:
             raise RuntimeError("auditor is not fitted")
@@ -182,42 +172,52 @@ class DataAuditor:
         findings: list[Finding] = []
         threshold = self.config.min_error_confidence
         bounds = self.config.bounds
+        raw_columns: dict[str, list] = {}
+        encoded_columns: dict[str, np.ndarray] = {}
+
+        def raw_column(name: str) -> list:
+            if name not in raw_columns:
+                raw_columns[name] = table.column(name)
+            return raw_columns[name]
+
         for class_attr, classifier in self.classifiers.items():
             dataset = classifier.dataset
             assert dataset is not None
-            encoded_columns = {
-                name: dataset.encoders[name].encode_column(table.column(name))
-                for name in dataset.base_attrs
-            }
-            class_values = table.column(class_attr)
-            observed_codes = dataset.class_encoder.encode_column(class_values)
-            row_view = _ArrayRow(encoded_columns)
-            labels = dataset.class_encoder.labels
-            for row in range(n_rows):
-                row_view.index = row
-                prediction = classifier.predict_encoded(row_view)
-                observed = int(observed_codes[row])
-                confidence = error_confidence(
-                    prediction.probabilities, prediction.n, observed, bounds
-                )
-                if confidence <= 0.0:
-                    continue
-                if confidence > record_confidence[row]:
-                    record_confidence[row] = confidence
-                if confidence >= threshold:
-                    predicted_label = prediction.predicted_label
-                    findings.append(
-                        Finding(
-                            row=row,
-                            attribute=class_attr,
-                            observed_label=labels[observed],
-                            observed_value=class_values[row],
-                            predicted_label=predicted_label,
-                            confidence=confidence,
-                            support=prediction.n,
-                            proposal=dataset.class_encoder.proposal_for(predicted_label),
-                        )
+            for name in dataset.base_attrs:
+                if name not in encoded_columns:
+                    encoded_columns[name] = dataset.encoders[name].encode_column(
+                        raw_column(name)
                     )
+            columns = {name: encoded_columns[name] for name in dataset.base_attrs}
+            class_values = raw_column(class_attr)
+            observed_codes = dataset.class_encoder.encode_column(class_values)
+            batch = classifier.predict_batch(columns, n_rows=n_rows)
+            confidences = error_confidence_batch(
+                batch.probabilities, batch.support, observed_codes, bounds
+            )
+            np.maximum(record_confidence, confidences, out=record_confidence)
+            flagged = np.flatnonzero(confidences >= threshold)
+            if flagged.size == 0:
+                continue
+            labels = dataset.class_encoder.labels
+            predicted_codes = np.argmax(batch.probabilities[flagged], axis=1)
+            proposals = {
+                code: dataset.class_encoder.proposal_for(labels[code])
+                for code in set(predicted_codes.tolist())
+            }
+            for row, predicted in zip(flagged.tolist(), predicted_codes.tolist()):
+                findings.append(
+                    Finding(
+                        row=row,
+                        attribute=class_attr,
+                        observed_label=labels[int(observed_codes[row])],
+                        observed_value=class_values[row],
+                        predicted_label=labels[predicted],
+                        confidence=float(confidences[row]),
+                        support=float(batch.support[row]),
+                        proposal=proposals[predicted],
+                    )
+                )
         return AuditReport(n_rows, findings, record_confidence.tolist(), threshold)
 
     # -- structure model ----------------------------------------------------------

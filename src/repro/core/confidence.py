@@ -12,6 +12,7 @@ from typing import Iterable
 
 from repro.mining.confidence import (
     error_confidence,
+    error_confidence_batch,
     error_confidence_from_counts,
     expected_error_confidence,
     min_instances_for_confidence,
@@ -19,6 +20,7 @@ from repro.mining.confidence import (
 
 __all__ = [
     "error_confidence",
+    "error_confidence_batch",
     "error_confidence_from_counts",
     "expected_error_confidence",
     "min_instances_for_confidence",

@@ -10,6 +10,7 @@ classifier with the highest error confidence".
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Sequence
 
@@ -65,6 +66,7 @@ class AuditReport:
         findings: Iterable[Finding],
         record_confidence: Sequence[float],
         min_error_confidence: float,
+        row_offset: int = 0,
     ):
         self.n_rows = n_rows
         self.findings: list[Finding] = sorted(
@@ -74,6 +76,13 @@ class AuditReport:
         if len(self.record_confidence) != n_rows:
             raise ValueError("record_confidence must cover every row")
         self.min_error_confidence = min_error_confidence
+        #: index of this report's first row within the audited stream —
+        #: non-zero for the incremental chunk reports of
+        #: :meth:`AuditSession.audit_chunks
+        #: <repro.core.session.AuditSession.audit_chunks>`, whose finding
+        #: rows are stream-global while ``record_confidence`` still covers
+        #: only the chunk's own ``n_rows`` records
+        self.row_offset = row_offset
         self._by_row: dict[int, list[Finding]] = {}
         for finding in self.findings:
             self._by_row.setdefault(finding.row, []).append(finding)
@@ -84,11 +93,21 @@ class AuditReport:
     def n_suspicious(self) -> int:
         return len(self._by_row)
 
+    def confidence_of(self, row: int) -> float:
+        """The Def.-8 record confidence of one (stream-global) row."""
+        index = row - self.row_offset
+        if index < 0:  # guard Python's negative indexing: loud, not wrong
+            raise IndexError(
+                f"row {row} precedes this report's rows "
+                f"[{self.row_offset}, {self.row_offset + self.n_rows})"
+            )
+        return self.record_confidence[index]
+
     def suspicious_rows(self) -> list[int]:
         """Rows flagged at the configured minimal error confidence, ranked
         by descending record confidence."""
         return sorted(
-            self._by_row, key=lambda row: (-self.record_confidence[row], row)
+            self._by_row, key=lambda row: (-self.confidence_of(row), row)
         )
 
     def is_flagged(self, row: int) -> bool:
@@ -103,6 +122,65 @@ class AuditReport:
     def ranked_findings(self, limit: Optional[int] = None) -> list[Finding]:
         """Findings sorted by descending confidence."""
         return self.findings[: limit if limit is not None else len(self.findings)]
+
+    # -- composition (streaming audits) -----------------------------------
+
+    def with_row_offset(self, offset: int) -> "AuditReport":
+        """A copy with all row indices shifted by *offset* — how a chunked
+        audit (see :class:`~repro.core.session.AuditSession`) maps
+        chunk-local rows to their global position in the stream."""
+        if offset == 0:
+            return self
+        findings = [
+            dataclasses.replace(finding, row=finding.row + offset)
+            for finding in self.findings
+        ]
+        return AuditReport(
+            self.n_rows,
+            findings,
+            self.record_confidence,
+            self.min_error_confidence,
+            row_offset=self.row_offset + offset,
+        )
+
+    @classmethod
+    def merge(cls, reports: Sequence["AuditReport"]) -> "AuditReport":
+        """Combine incremental chunk reports into one whole-stream report.
+
+        The inputs must share one minimal error confidence and form a
+        contiguous stream (each report's :attr:`row_offset` continues
+        where the previous one ended) — exactly what
+        :meth:`AuditSession.audit_chunks <repro.core.session.AuditSession.audit_chunks>`
+        yields, in order. Merging the chunk reports of any chunking of a
+        table reproduces the whole-table audit exactly: findings, ranking,
+        and record confidences.
+        """
+        reports = list(reports)
+        if not reports:
+            raise ValueError("cannot merge an empty sequence of reports")
+        threshold = reports[0].min_error_confidence
+        if any(r.min_error_confidence != threshold for r in reports):
+            raise ValueError("cannot merge reports with different thresholds")
+        expected_offset = reports[0].row_offset
+        findings: list[Finding] = []
+        record_confidence: list[float] = []
+        for report in reports:
+            if report.row_offset != expected_offset:
+                raise ValueError(
+                    f"reports are not stream-contiguous: expected a chunk "
+                    f"starting at row {expected_offset}, got {report.row_offset} "
+                    f"(shift chunk reports with with_row_offset first)"
+                )
+            findings.extend(report.findings)
+            record_confidence.extend(report.record_confidence)
+            expected_offset += report.n_rows
+        return cls(
+            len(record_confidence),
+            findings,
+            record_confidence,
+            threshold,
+            row_offset=reports[0].row_offset,
+        )
 
     # -- corrections (sec. 5.3) ------------------------------------------------
 

@@ -97,7 +97,7 @@ class ReviewSession:
         return [
             ReviewItem(
                 row=row,
-                record_confidence=self.report.record_confidence[row],
+                record_confidence=self.report.confidence_of(row),
                 findings=self.report.findings_for_row(row),
             )
             for row in self.report.suspicious_rows()

@@ -1,0 +1,143 @@
+"""The streaming auditing facade for the warehouse-loading scenario.
+
+Sec. 2.2: *"Both tasks can run asynchronously. This is useful for an
+application in the data cleansing phase during warehouse loading: While
+the time-consuming structure induction can be prepared off-line, new data
+can be checked for deviations and loaded quickly."*
+
+:class:`AuditSession` models that offline-fit / online-check split as a
+first-class API on top of :class:`~repro.core.auditor.DataAuditor`:
+
+* :meth:`AuditSession.fit` — the offline structure induction;
+* :meth:`AuditSession.save` / :meth:`AuditSession.load` — the persisted
+  hand-over between the offline and online jobs;
+* :meth:`AuditSession.audit` — whole-table deviation detection (the
+  batch-vectorized hot path);
+* :meth:`AuditSession.audit_chunks` / :meth:`AuditSession.audit_csv_stream`
+  — incremental checking of an unbounded load: each chunk yields an
+  :class:`~repro.core.findings.AuditReport` immediately (quarantine
+  decisions don't wait for the full load), and
+  :meth:`AuditReport.merge <repro.core.findings.AuditReport.merge>`
+  recovers the exact whole-table report afterwards. Peak memory is
+  bounded by the chunk size, not the stream length.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Union
+
+from repro.core.auditor import AuditorConfig, DataAuditor
+from repro.core.findings import AuditReport
+from repro.schema.io import read_csv_chunks
+from repro.schema.schema import Schema
+from repro.schema.table import Table
+
+__all__ = ["AuditSession"]
+
+
+class AuditSession:
+    """Fit-once, audit-many facade over a :class:`DataAuditor`.
+
+    Construct from a schema (optionally with an :class:`AuditorConfig`),
+    from an already-built auditor (``AuditSession(auditor=...)``), or from
+    a persisted model (:meth:`load`).
+    """
+
+    def __init__(
+        self,
+        schema: Optional[Schema] = None,
+        config: Optional[AuditorConfig] = None,
+        *,
+        auditor: Optional[DataAuditor] = None,
+    ):
+        if auditor is not None:
+            if schema is not None and schema != auditor.schema:
+                raise ValueError("schema does not match the given auditor's schema")
+            if config is not None:
+                raise ValueError("pass config via the auditor when auditor is given")
+            self.auditor = auditor
+        else:
+            if schema is None:
+                raise ValueError("either schema or auditor is required")
+            self.auditor = DataAuditor(schema, config)
+
+    # -- delegated state ---------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self.auditor.schema
+
+    @property
+    def config(self) -> AuditorConfig:
+        return self.auditor.config
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self.auditor.classifiers)
+
+    # -- offline: structure induction --------------------------------------
+
+    def fit(self, table: Table) -> "AuditSession":
+        """Induce the structure model (sec. 5; may run offline)."""
+        self.auditor.fit(table)
+        return self
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist the fitted structure model for the online job."""
+        from repro.core.serialize import save_auditor
+
+        save_auditor(self.auditor, path)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "AuditSession":
+        """Resume a session from a persisted structure model."""
+        from repro.core.serialize import load_auditor
+
+        return cls(auditor=load_auditor(path))
+
+    # -- online: deviation detection ----------------------------------------
+
+    def audit(self, table: Table) -> AuditReport:
+        """Check one whole table (the batch-vectorized path)."""
+        return self.auditor.audit(table)
+
+    def audit_chunks(self, chunks: Iterable[Table]) -> Iterator[AuditReport]:
+        """Check an iterable of table chunks, yielding one incremental
+        report per chunk.
+
+        Row indices in the yielded reports are **stream-global** (the
+        position of the record across all chunks so far), so the reports
+        both attribute findings to their source records and concatenate
+        losslessly:
+        ``AuditReport.merge(session.audit_chunks(chunks))`` equals the
+        whole-table audit of the concatenated chunks, finding for finding.
+        Chunks are consumed lazily — nothing is pulled from the iterable
+        before the previous chunk's report has been yielded.
+        """
+        offset = 0
+        for chunk in chunks:
+            yield self.auditor.audit(chunk).with_row_offset(offset)
+            offset += chunk.n_rows
+
+    def audit_csv_stream(
+        self,
+        source,
+        *,
+        chunk_size: int = 8192,
+        null_marker: str = "",
+    ) -> Iterator[AuditReport]:
+        """Check a CSV file (path or text stream) chunk by chunk.
+
+        Peak memory is bounded by *chunk_size*, independent of the file's
+        row count; see :meth:`audit_chunks` for the report semantics.
+        """
+        yield from self.audit_chunks(
+            read_csv_chunks(
+                self.schema, source, chunk_size=chunk_size, null_marker=null_marker
+            )
+        )
+
+    def __repr__(self) -> str:
+        state = "fitted" if self.is_fitted else "unfitted"
+        return f"AuditSession({len(self.schema)} attributes, {state})"

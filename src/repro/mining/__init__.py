@@ -3,9 +3,15 @@ equal-frequency discretization, dataset encoding, the auditing-adjusted
 C4.5 decision tree, and the alternative classifiers evaluated for the
 QUIS domain."""
 
-from repro.mining.base import AttributeClassifier, Prediction
+from repro.mining.base import (
+    ArrayRowView,
+    AttributeClassifier,
+    BatchPrediction,
+    Prediction,
+)
 from repro.mining.confidence import (
     error_confidence,
+    error_confidence_batch,
     error_confidence_from_counts,
     expected_error_confidence,
     min_instances_for_confidence,
@@ -54,6 +60,7 @@ __all__ = [
     "clopper_pearson_upper",
     "normal_quantile",
     "error_confidence",
+    "error_confidence_batch",
     "error_confidence_from_counts",
     "expected_error_confidence",
     "min_instances_for_confidence",
@@ -65,6 +72,8 @@ __all__ = [
     "UNKNOWN_LABEL",
     "AttributeClassifier",
     "Prediction",
+    "BatchPrediction",
+    "ArrayRowView",
     "TreeClassifier",
     "TreeConfig",
     "PruningStrategy",

@@ -12,20 +12,35 @@ and the number of training instances this prediction is based on."*
 composes — the tree-based production classifier and the alternatives the
 paper evaluated (instance-based, naive Bayes, rule inducers) all implement
 it.
+
+The protocol is **batch-first**: the auditor's hot path hands each
+classifier whole encoded column arrays at once and receives a
+:class:`BatchPrediction` (distribution matrix + support vector) back.
+Built-in classifiers override :meth:`AttributeClassifier.predict_batch`
+with vectorized implementations; third-party classifiers that only
+implement the per-record :meth:`AttributeClassifier.predict_encoded`
+inherit a row-loop fallback, so the single-record contract remains
+sufficient.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import Iterator, Mapping, Optional
 
 import numpy as np
 
 from repro.mining.dataset import Dataset
 from repro.schema.types import Value
 
-__all__ = ["Prediction", "AttributeClassifier"]
+__all__ = [
+    "Prediction",
+    "BatchPrediction",
+    "ArrayRowView",
+    "AttributeClassifier",
+    "batch_length",
+]
 
 
 @dataclass
@@ -60,6 +75,69 @@ class Prediction:
         )
 
 
+@dataclass
+class BatchPrediction:
+    """Predicted class distributions for a whole batch of records.
+
+    ``probabilities[r, c]`` is the predicted probability of class-label
+    code ``c`` for record ``r``; ``support[r]`` is the (possibly weighted)
+    number of training instances record *r*'s prediction is based on.
+    """
+
+    probabilities: np.ndarray
+    support: np.ndarray
+    labels: tuple[str, ...]
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.probabilities.shape[0])
+
+    @property
+    def predicted_codes(self) -> np.ndarray:
+        """Per-record code of the most probable class (``ĉ``)."""
+        return np.argmax(self.probabilities, axis=1)
+
+    def prediction_at(self, row: int) -> Prediction:
+        """The single-record :class:`Prediction` view of one batch row."""
+        return Prediction(self.probabilities[row], float(self.support[row]), self.labels)
+
+    def __repr__(self) -> str:
+        return f"BatchPrediction(rows={self.n_rows}, labels={len(self.labels)})"
+
+
+class ArrayRowView(Mapping):
+    """A zero-copy record view over pre-encoded column arrays.
+
+    Prediction only touches the attributes along a tree path, so building
+    a dict per row per classifier would dominate a row-at-a-time audit;
+    the batch fallback loop reuses one view and just moves :attr:`index`.
+    """
+
+    __slots__ = ("columns", "index")
+
+    def __init__(self, columns: Mapping[str, np.ndarray], index: int = 0):
+        self.columns = columns
+        self.index = index
+
+    def __getitem__(self, name: str):
+        return self.columns[name][self.index]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+
+def batch_length(columns: Mapping[str, np.ndarray], n_rows: Optional[int]) -> int:
+    """Resolve the row count of an encoded-column batch."""
+    if n_rows is not None:
+        return int(n_rows)
+    for column in columns.values():
+        return len(column)
+    raise ValueError("cannot infer batch length: no columns given and n_rows is None")
+
+
 class AttributeClassifier(ABC):
     """A dependency model of one class attribute given base attributes."""
 
@@ -80,6 +158,37 @@ class AttributeClassifier(ABC):
         if self.dataset is None:
             raise RuntimeError(f"{type(self).__name__} is not fitted")
         return self.predict_encoded(self.dataset.encode_record(record))
+
+    def predict_batch(
+        self,
+        columns: Mapping[str, np.ndarray],
+        *,
+        n_rows: Optional[int] = None,
+    ) -> BatchPrediction:
+        """Predict class distributions for a whole batch of encoded records.
+
+        *columns* maps base-attribute names to encoded column arrays (see
+        :meth:`~repro.mining.dataset.BaseEncoder.encode_column`); all
+        arrays share one length, which *n_rows* may state explicitly when
+        the classifier uses no base attributes.
+
+        This base implementation is the compatibility fallback: it loops
+        :meth:`predict_encoded` over a reusable :class:`ArrayRowView`.
+        The built-in classifiers override it with vectorized paths that
+        produce the same distributions and supports.
+        """
+        dataset = self._require_fitted()
+        length = batch_length(columns, n_rows)
+        n_labels = dataset.class_encoder.n_labels
+        probabilities = np.empty((length, n_labels), dtype=float)
+        support = np.empty(length, dtype=float)
+        view = ArrayRowView(columns)
+        for row in range(length):
+            view.index = row
+            prediction = self.predict_encoded(view)
+            probabilities[row] = prediction.probabilities
+            support[row] = prediction.n
+        return BatchPrediction(probabilities, support, dataset.class_encoder.labels)
 
     def _require_fitted(self) -> Dataset:
         if self.dataset is None:

@@ -33,6 +33,7 @@ from repro.mining.intervals import ConfidenceBounds
 
 __all__ = [
     "error_confidence",
+    "error_confidence_batch",
     "error_confidence_from_counts",
     "expected_error_confidence",
     "min_instances_for_confidence",
@@ -55,6 +56,39 @@ def error_confidence(
     left = bounds.left_bound(float(probabilities[predicted]), n)
     right = bounds.right_bound(float(probabilities[observed]), n)
     return max(0.0, left - right)
+
+
+def error_confidence_batch(
+    probabilities: np.ndarray,
+    support: np.ndarray,
+    observed: np.ndarray,
+    bounds: ConfidenceBounds,
+) -> np.ndarray:
+    """Vectorized Def. 7 over a batch of predictions.
+
+    *probabilities* is an ``(n_rows, n_labels)`` distribution matrix,
+    *support* the per-row training support, *observed* the per-row
+    observed class codes; returns the per-row error confidences. Rows
+    where the observed class is the predicted one, or whose prediction is
+    unsupported, score 0 — exactly as :func:`error_confidence` decides
+    per record.
+    """
+    n_rows = probabilities.shape[0]
+    confidences = np.zeros(n_rows, dtype=float)
+    if n_rows == 0 or probabilities.shape[1] == 0:
+        return confidences
+    predicted = np.argmax(probabilities, axis=1)
+    relevant = (support > 0) & (predicted != observed)
+    if not relevant.any():
+        return confidences
+    rows = np.flatnonzero(relevant)
+    n = support[rows]
+    p_predicted = probabilities[rows, predicted[rows]]
+    p_observed = probabilities[rows, observed[rows]]
+    left = bounds.left_bound_array(p_predicted, n)
+    right = bounds.right_bound_array(p_observed, n)
+    confidences[rows] = np.maximum(0.0, left - right)
+    return confidences
 
 
 def error_confidence_from_counts(

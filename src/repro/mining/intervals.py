@@ -30,11 +30,15 @@ import math
 from dataclasses import dataclass
 from functools import lru_cache
 
+import numpy as np
+
 __all__ = [
     "IntervalMethod",
     "ConfidenceBounds",
     "wilson_lower",
     "wilson_upper",
+    "wilson_lower_array",
+    "wilson_upper_array",
     "clopper_pearson_lower",
     "clopper_pearson_upper",
     "normal_quantile",
@@ -120,6 +124,34 @@ def wilson_upper(p: float, n: float, confidence: float) -> float:
     center = p + z2 / (2.0 * n)
     margin = z * math.sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n))
     return min(1.0, (center + margin) / denominator)
+
+
+def wilson_lower_array(p: np.ndarray, n: np.ndarray, confidence: float) -> np.ndarray:
+    """Vectorized :func:`wilson_lower` (same guards, same arithmetic)."""
+    p = np.clip(np.asarray(p, dtype=float), 0.0, 1.0)
+    n = np.asarray(n, dtype=float)
+    z = normal_quantile(confidence)
+    z2 = z * z
+    with np.errstate(divide="ignore", invalid="ignore"):
+        denominator = 1.0 + z2 / n
+        center = p + z2 / (2.0 * n)
+        margin = z * np.sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n))
+        lower = np.maximum(0.0, (center - margin) / denominator)
+    return np.where(n <= 1e-9, 0.0, lower)
+
+
+def wilson_upper_array(p: np.ndarray, n: np.ndarray, confidence: float) -> np.ndarray:
+    """Vectorized :func:`wilson_upper` (same guards, same arithmetic)."""
+    p = np.clip(np.asarray(p, dtype=float), 0.0, 1.0)
+    n = np.asarray(n, dtype=float)
+    z = normal_quantile(confidence)
+    z2 = z * z
+    with np.errstate(divide="ignore", invalid="ignore"):
+        denominator = 1.0 + z2 / n
+        center = p + z2 / (2.0 * n)
+        margin = z * np.sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n))
+        upper = np.minimum(1.0, (center + margin) / denominator)
+    return np.where(n <= 1e-9, 1.0, upper)
 
 
 # -- exact (Clopper–Pearson) ----------------------------------------------------
@@ -243,6 +275,25 @@ class ConfidenceBounds:
         if self.method is IntervalMethod.WILSON:
             return wilson_upper(p, n, self.confidence)
         return clopper_pearson_upper(p, n, self.confidence)
+
+    def left_bound_array(self, p: np.ndarray, n: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`left_bound` (Clopper–Pearson falls back to a
+        scalar loop — its beta-quantile inversion has no array form)."""
+        if self.method is IntervalMethod.WILSON:
+            return wilson_lower_array(p, n, self.confidence)
+        return np.asarray(
+            [self.left_bound(float(pi), float(ni)) for pi, ni in zip(p, n)],
+            dtype=float,
+        )
+
+    def right_bound_array(self, p: np.ndarray, n: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`right_bound`."""
+        if self.method is IntervalMethod.WILSON:
+            return wilson_upper_array(p, n, self.confidence)
+        return np.asarray(
+            [self.right_bound(float(pi), float(ni)) for pi, ni in zip(p, n)],
+            dtype=float,
+        )
 
     def pessimistic_error(self, error_rate: float, n: float) -> float:
         """C4.5's pessimistic classification error: the right bound of the

@@ -21,7 +21,12 @@ from typing import Mapping, Optional
 
 import numpy as np
 
-from repro.mining.base import AttributeClassifier, Prediction
+from repro.mining.base import (
+    AttributeClassifier,
+    BatchPrediction,
+    Prediction,
+    batch_length,
+)
 from repro.mining.dataset import Dataset
 
 __all__ = ["KnnClassifier"]
@@ -100,6 +105,53 @@ class KnnClassifier(AttributeClassifier):
             float
         )
         return Prediction(counts / k, float(k), dataset.class_encoder.labels)
+
+    #: batch rows per distance-matrix block (bounds peak memory at
+    #: ``_CHUNK × max_training`` floats regardless of batch size)
+    _CHUNK = 512
+
+    def predict_batch(
+        self,
+        columns: Mapping[str, np.ndarray],
+        *,
+        n_rows: Optional[int] = None,
+    ) -> BatchPrediction:
+        dataset = self._require_fitted()
+        assert self._y is not None
+        length = batch_length(columns, n_rows)
+        n_labels = dataset.n_labels
+        labels = dataset.class_encoder.labels
+        n_train = self._y.size
+        if n_train == 0:
+            uniform = np.full((length, n_labels), 1.0 / n_labels)
+            return BatchPrediction(uniform, np.zeros(length), labels)
+        k = min(self.k, n_train)
+        probabilities = np.empty((length, n_labels), dtype=float)
+        for start in range(0, length, self._CHUNK):
+            stop = min(start + self._CHUNK, length)
+            distance = np.zeros((stop - start, n_train), dtype=float)
+            for name, column in self._columns.items():
+                raw = columns[name][start:stop]
+                if dataset.encoders[name].categorical:
+                    codes = raw[:, None]
+                    missing = column < 0
+                    block = np.where(missing[None, :] | (column[None, :] != codes), 1.0, 0.0)
+                    block[raw < 0] = 1.0  # missing query value: maximal distance
+                else:
+                    missing = np.isnan(column)
+                    diff = np.abs(column[None, :] - raw[:, None]) / self._spans[name]
+                    block = np.where(missing[None, :], 1.0, np.minimum(diff, 1.0))
+                    block[np.isnan(raw)] = 1.0
+                distance += block
+            for offset in range(stop - start):
+                neighbour_idx = np.argpartition(distance[offset], k - 1)[:k]
+                counts = np.bincount(
+                    self._y[neighbour_idx], minlength=n_labels
+                ).astype(float)
+                probabilities[start + offset] = counts / k
+        return BatchPrediction(
+            probabilities, np.full(length, float(k)), labels
+        )
 
     def __repr__(self) -> str:
         return f"KnnClassifier(k={self.k}, max_training={self.max_training})"

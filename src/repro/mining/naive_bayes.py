@@ -19,7 +19,12 @@ from typing import Mapping, Optional
 
 import numpy as np
 
-from repro.mining.base import AttributeClassifier, Prediction
+from repro.mining.base import (
+    AttributeClassifier,
+    BatchPrediction,
+    Prediction,
+    batch_length,
+)
 from repro.mining.dataset import Dataset
 from repro.mining.discretize import EqualFrequencyDiscretizer
 
@@ -100,6 +105,32 @@ class NaiveBayesClassifier(AttributeClassifier):
         posterior = np.exp(log_posterior)
         posterior /= posterior.sum()
         return Prediction(posterior, self._n_training, dataset.class_encoder.labels)
+
+    def predict_batch(
+        self,
+        columns: Mapping[str, np.ndarray],
+        *,
+        n_rows: Optional[int] = None,
+    ) -> BatchPrediction:
+        dataset = self._require_fitted()
+        assert self._priors is not None
+        length = batch_length(columns, n_rows)
+        log_posterior = np.tile(np.log(self._priors), (length, 1))
+        for name, likelihood in self._tables.items():
+            raw = columns[name]
+            encoder = dataset.encoders[name]
+            if encoder.categorical:
+                known = raw >= 0  # missing values skip the factor
+                codes = np.minimum(raw[known], likelihood.shape[1] - 1)
+            else:
+                known = ~np.isnan(raw)
+                codes = self._discretizers[name].transform(raw[known])
+            log_posterior[known] += np.log(likelihood[:, codes]).T
+        log_posterior -= log_posterior.max(axis=1, keepdims=True)
+        posterior = np.exp(log_posterior)
+        posterior /= posterior.sum(axis=1, keepdims=True)
+        support = np.full(length, self._n_training, dtype=float)
+        return BatchPrediction(posterior, support, dataset.class_encoder.labels)
 
     def __repr__(self) -> str:
         fitted = "fitted" if self._priors is not None else "unfitted"

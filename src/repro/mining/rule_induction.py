@@ -21,7 +21,12 @@ from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.mining.base import AttributeClassifier, Prediction
+from repro.mining.base import (
+    AttributeClassifier,
+    BatchPrediction,
+    Prediction,
+    batch_length,
+)
 from repro.mining.dataset import Dataset
 from repro.mining.discretize import EqualFrequencyDiscretizer
 
@@ -70,6 +75,19 @@ class _Bucketizer:
         if discretizer is None:
             return 0
         return discretizer.transform_value(raw) + 1
+
+    def buckets_of_column(self, name: str, raw: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`bucket_of` over an encoded column array."""
+        encoder = self.dataset.encoders[name]
+        if encoder.categorical:
+            return np.where(raw < 0, 0, raw + 1).astype(np.int64)
+        buckets = np.zeros(len(raw), dtype=np.int64)
+        discretizer = self.discretizers.get(name)
+        if discretizer is None:
+            return buckets
+        known = ~np.isnan(raw)
+        buckets[known] = discretizer.transform(raw[known]) + 1
+        return buckets
 
 
 class OneRClassifier(AttributeClassifier):
@@ -122,8 +140,43 @@ class OneRClassifier(AttributeClassifier):
             return Prediction(np.full(len(labels), 1.0 / len(labels)), 0.0, labels)
         return Prediction(counts / n, n, labels)
 
+    def predict_batch(
+        self,
+        columns: Mapping[str, np.ndarray],
+        *,
+        n_rows: Optional[int] = None,
+    ) -> BatchPrediction:
+        dataset = self._require_fitted()
+        assert self._bucketizer is not None and self._global_counts is not None
+        labels = dataset.class_encoder.labels
+        length = batch_length(columns, n_rows)
+        if self.attribute is None or self._bucket_counts is None:
+            counts = np.tile(self._global_counts, (length, 1))
+        else:
+            buckets = self._bucketizer.buckets_of_column(
+                self.attribute, columns[self.attribute]
+            )
+            buckets = np.minimum(buckets, self._bucket_counts.shape[0] - 1)
+            counts = self._bucket_counts[buckets]
+            empty = counts.sum(axis=1) <= 0
+            counts[empty] = self._global_counts
+        return _counts_to_batch(counts, labels)
+
     def __repr__(self) -> str:
         return f"OneRClassifier(attribute={self.attribute!r})"
+
+
+def _counts_to_batch(counts: np.ndarray, labels: tuple[str, ...]) -> BatchPrediction:
+    """Normalize per-row count vectors into a :class:`BatchPrediction`
+    (uniform distribution with zero support for empty count rows)."""
+    n = counts.sum(axis=1)
+    support = n.astype(float)
+    positive = n > 0
+    probabilities = np.empty_like(counts, dtype=float)
+    probabilities[positive] = counts[positive] / n[positive, None]
+    probabilities[~positive] = 1.0 / counts.shape[1]
+    support[~positive] = 0.0
+    return BatchPrediction(probabilities, support, labels)
 
 
 @dataclass
@@ -267,6 +320,48 @@ class PrismClassifier(AttributeClassifier):
         if n <= 0:
             return Prediction(np.full(len(labels), 1.0 / len(labels)), 0.0, labels)
         return Prediction(counts / n, n, labels)
+
+    def predict_batch(
+        self,
+        columns: Mapping[str, np.ndarray],
+        *,
+        n_rows: Optional[int] = None,
+    ) -> BatchPrediction:
+        dataset = self._require_fitted()
+        assert self._bucketizer is not None and self._global_counts is not None
+        labels = dataset.class_encoder.labels
+        length = batch_length(columns, n_rows)
+        buckets = {
+            name: self._bucketizer.buckets_of_column(name, columns[name])
+            for name in dataset.base_attrs
+        }
+        counts = np.tile(self._global_counts, (length, 1))
+        # assign each row the best matching rule, mirroring the row path's
+        # max() over (precision, support): rules visited best-first, ties
+        # broken by original rule order, first match per row wins
+        order = sorted(
+            range(len(self.rules)),
+            key=lambda i: (
+                -(
+                    float(self.rules[i].counts[self.rules[i].target_code])
+                    / max(self.rules[i].n, 1.0)
+                ),
+                -self.rules[i].n,
+                i,
+            ),
+        )
+        unassigned = np.ones(length, dtype=bool)
+        for index in order:
+            if not unassigned.any():
+                break
+            rule = self.rules[index]
+            matches = unassigned.copy()
+            for name, bucket in rule.conditions:
+                matches &= buckets[name] == bucket
+            if matches.any():
+                counts[matches] = rule.counts
+                unassigned &= ~matches
+        return _counts_to_batch(counts, labels)
 
     def __repr__(self) -> str:
         return f"PrismClassifier(rules={len(self.rules)})"

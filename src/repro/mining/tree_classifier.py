@@ -4,9 +4,16 @@ from __future__ import annotations
 
 from typing import Mapping, Optional
 
-from repro.mining.base import AttributeClassifier, Prediction
+import numpy as np
+
+from repro.mining.base import (
+    AttributeClassifier,
+    BatchPrediction,
+    Prediction,
+    batch_length,
+)
 from repro.mining.dataset import Dataset
-from repro.mining.tree.classify import predict_distribution
+from repro.mining.tree.classify import predict_distribution, predict_distribution_batch
 from repro.mining.tree.grow import TreeConfig, grow_tree
 from repro.mining.tree.node import Node
 from repro.mining.tree.rules import TreeRule, extract_rules
@@ -36,6 +43,18 @@ class TreeClassifier(AttributeClassifier):
         assert self.root is not None
         probabilities, n = predict_distribution(self.root, encoded)
         return Prediction(probabilities, n, dataset.class_encoder.labels)
+
+    def predict_batch(
+        self,
+        columns: Mapping[str, np.ndarray],
+        *,
+        n_rows: Optional[int] = None,
+    ) -> BatchPrediction:
+        dataset = self._require_fitted()
+        assert self.root is not None
+        length = batch_length(columns, n_rows)
+        probabilities, support = predict_distribution_batch(self.root, columns, length)
+        return BatchPrediction(probabilities, support, dataset.class_encoder.labels)
 
     def rules(self, *, drop_useless: bool = True) -> list[TreeRule]:
         """The tree as a rule set (sec. 5.4), by default without rules

@@ -2,7 +2,13 @@
 
 from repro.schema.attribute import Attribute, date, nominal, numeric
 from repro.schema.domain import DateDomain, Domain, NominalDomain, NumericDomain
-from repro.schema.io import read_csv, table_from_csv_text, table_to_csv_text, write_csv
+from repro.schema.io import (
+    read_csv,
+    read_csv_chunks,
+    table_from_csv_text,
+    table_to_csv_text,
+    write_csv,
+)
 from repro.schema.schema import Schema
 from repro.schema.table import Row, Table
 from repro.schema.types import NULL, AttributeKind, Value, is_null
@@ -25,6 +31,7 @@ __all__ = [
     "Row",
     "write_csv",
     "read_csv",
+    "read_csv_chunks",
     "table_to_csv_text",
     "table_from_csv_text",
 ]

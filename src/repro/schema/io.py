@@ -17,13 +17,19 @@ import csv
 import datetime
 import io as _io
 from pathlib import Path
-from typing import TextIO, Union
+from typing import Iterator, TextIO, Union
 
 from repro.schema.schema import Schema
 from repro.schema.table import Table
 from repro.schema.types import AttributeKind, Value
 
-__all__ = ["write_csv", "read_csv", "table_to_csv_text", "table_from_csv_text"]
+__all__ = [
+    "write_csv",
+    "read_csv",
+    "read_csv_chunks",
+    "table_to_csv_text",
+    "table_from_csv_text",
+]
 
 _DEFAULT_NULL = ""
 
@@ -88,7 +94,10 @@ def read_csv(
     return _read(schema, source, null_marker, validate)
 
 
-def _read(schema: Schema, handle: TextIO, null_marker: str, validate: bool) -> Table:
+def _parsed_rows(
+    schema: Schema, handle: TextIO, null_marker: str
+) -> Iterator[list[Value]]:
+    """Header-checked, schema-ordered cell lists, one per CSV data row."""
     reader = csv.reader(handle)
     try:
         header = next(reader)
@@ -103,18 +112,63 @@ def _read(schema: Schema, handle: TextIO, null_marker: str, validate: bool) -> T
     integers = [
         getattr(a.domain, "integer", False) for a in schema.attributes
     ]
-    table = Table(schema)
     for line_no, fields in enumerate(reader, start=2):
         if len(fields) != len(header):
             raise ValueError(f"line {line_no}: expected {len(header)} fields, got {len(fields)}")
-        cells = [
+        yield [
             _parse(fields[src], kind, null_marker, integer)
             for src, kind, integer in zip(order, kinds, integers)
         ]
-        table.rows.append(cells)
+
+
+def _read(schema: Schema, handle: TextIO, null_marker: str, validate: bool) -> Table:
+    table = Table(schema)
+    table.rows.extend(_parsed_rows(schema, handle, null_marker))
     if validate:
         table.validate()
     return table
+
+
+def read_csv_chunks(
+    schema: Schema,
+    source: Union[str, Path, TextIO],
+    *,
+    chunk_size: int = 8192,
+    null_marker: str = _DEFAULT_NULL,
+    validate: bool = False,
+) -> Iterator[Table]:
+    """Read a CSV file as a stream of tables of at most *chunk_size* rows.
+
+    Rows are parsed lazily, so peak memory is bounded by the chunk size
+    rather than the file size — the substrate for
+    :meth:`AuditSession.audit_csv_stream
+    <repro.core.session.AuditSession.audit_csv_stream>`. An input with a
+    valid header but no data rows yields no chunks.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
+    if isinstance(source, (str, Path)):
+        with open(source, "r", newline="", encoding="utf-8") as handle:
+            yield from _read_chunks(schema, handle, chunk_size, null_marker, validate)
+    else:
+        yield from _read_chunks(schema, source, chunk_size, null_marker, validate)
+
+
+def _read_chunks(
+    schema: Schema, handle: TextIO, chunk_size: int, null_marker: str, validate: bool
+) -> Iterator[Table]:
+    chunk = Table(schema)
+    for cells in _parsed_rows(schema, handle, null_marker):
+        chunk.rows.append(cells)
+        if len(chunk.rows) >= chunk_size:
+            if validate:
+                chunk.validate()
+            yield chunk
+            chunk = Table(schema)
+    if chunk.rows:
+        if validate:
+            chunk.validate()
+        yield chunk
 
 
 def table_to_csv_text(table: Table, *, null_marker: str = _DEFAULT_NULL) -> str:

@@ -15,8 +15,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
-from repro.core.auditor import AuditorConfig, DataAuditor
+from repro.core.auditor import AuditorConfig
 from repro.core.findings import AuditReport
+from repro.core.session import AuditSession
 from repro.generator.profiles import GeneratorProfile, base_profile
 from repro.generator.rulegen import RuleGenerationConfig
 from repro.pollution.log import PollutionLog
@@ -134,13 +135,13 @@ class TestEnvironment:
         dirty, log = pipeline.apply(clean, random.Random(config.pollution_seed))
         pollute_seconds = time.perf_counter() - started
 
-        auditor = DataAuditor(profile.schema, config.auditor)
+        session = AuditSession(profile.schema, config.auditor)
         started = time.perf_counter()
-        auditor.fit(dirty)
+        session.fit(dirty)
         fit_seconds = time.perf_counter() - started
 
         started = time.perf_counter()
-        report = auditor.audit(dirty)
+        report = session.audit(dirty)
         audit_seconds = time.perf_counter() - started
 
         evaluation = evaluate_audit(report, log, clean, dirty)

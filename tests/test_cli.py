@@ -235,3 +235,157 @@ class TestPipeline:
     def test_missing_required_argument(self):
         with pytest.raises(SystemExit):
             main(["fit", "--schema", "x.json"])
+
+
+def _fitted_workspace(workspace):
+    """generate → pollute → fit, leaving a model + dirty CSV behind."""
+    _generate(workspace)
+    assert (
+        main(
+            [
+                "pollute",
+                "--schema",
+                str(workspace["schema"]),
+                "--input",
+                str(workspace["clean"]),
+                "--output",
+                str(workspace["dirty"]),
+            ]
+        )
+        == 0
+    )
+    assert (
+        main(
+            [
+                "fit",
+                "--schema",
+                str(workspace["schema"]),
+                "--input",
+                str(workspace["dirty"]),
+                "--model-out",
+                str(workspace["model"]),
+            ]
+        )
+        == 0
+    )
+
+
+class TestCliPolish:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+    def test_corrupt_model_gives_clear_error(self, tmp_path, workspace):
+        _generate(workspace)
+        bad = tmp_path / "bad_model.json"
+        bad.write_text("{ this is not json")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["audit", "--model", str(bad), "--input", str(workspace["clean"])])
+        assert "not a valid auditor model" in str(excinfo.value)
+
+    def test_wrong_json_model_gives_clear_error(self, tmp_path, workspace):
+        _generate(workspace)
+        bad = tmp_path / "bad_model.json"
+        bad.write_text('{"format": "repro-auditor-v1"}')
+        with pytest.raises(SystemExit) as excinfo:
+            main(["audit", "--model", str(bad), "--input", str(workspace["clean"])])
+        assert "not a valid auditor model" in str(excinfo.value)
+
+    def test_missing_model_gives_clear_error(self, tmp_path, workspace):
+        _generate(workspace)
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "audit",
+                    "--model",
+                    str(tmp_path / "nope.json"),
+                    "--input",
+                    str(workspace["clean"]),
+                ]
+            )
+        assert "cannot read model file" in str(excinfo.value)
+
+    def test_audit_jsonl_to_stdout(self, workspace, capsys):
+        _fitted_workspace(workspace)
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "audit",
+                    "--model",
+                    str(workspace["model"]),
+                    "--input",
+                    str(workspace["dirty"]),
+                    "--format",
+                    "jsonl",
+                ]
+            )
+            == 0
+        )
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        assert lines, "expected at least one JSONL finding"
+        for line in lines:
+            record = json.loads(line)
+            assert {"row", "attribute", "observed", "expected", "confidence"} <= set(
+                record
+            )
+
+    def test_audit_jsonl_findings_file(self, workspace, tmp_path):
+        _fitted_workspace(workspace)
+        out = tmp_path / "findings.jsonl"
+        assert (
+            main(
+                [
+                    "audit",
+                    "--model",
+                    str(workspace["model"]),
+                    "--input",
+                    str(workspace["dirty"]),
+                    "--format",
+                    "jsonl",
+                    "--findings-out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        lines = out.read_text().splitlines()
+        assert all(json.loads(line) for line in lines)
+
+    def test_audit_chunked_equals_whole(self, workspace, tmp_path, capsys):
+        _fitted_workspace(workspace)
+        whole_out = tmp_path / "whole.csv"
+        chunked_out = tmp_path / "chunked.csv"
+        base = [
+            "audit",
+            "--model",
+            str(workspace["model"]),
+            "--input",
+            str(workspace["dirty"]),
+        ]
+        assert main(base + ["--findings-out", str(whole_out)]) == 0
+        assert (
+            main(base + ["--chunk-size", "100", "--findings-out", str(chunked_out)])
+            == 0
+        )
+        assert "chunk 1:" in capsys.readouterr().out
+        assert chunked_out.read_text() == whole_out.read_text()
+
+    def test_audit_invalid_chunk_size(self, workspace):
+        _fitted_workspace(workspace)
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "audit",
+                    "--model",
+                    str(workspace["model"]),
+                    "--input",
+                    str(workspace["dirty"]),
+                    "--chunk-size",
+                    "0",
+                ]
+            )

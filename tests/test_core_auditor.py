@@ -204,3 +204,36 @@ class TestPersistence:
     def test_bad_format_rejected(self):
         with pytest.raises(ValueError):
             auditor_from_dict({"format": "something-else"})
+
+    def test_roundtrip_with_non_default_config(self, table, tmp_path):
+        """Persisting a fitted auditor with every config knob off its
+        default (bounds, bins, restricted audited/base attributes) must
+        reproduce the audit exactly after save/load."""
+        from repro.mining import ConfidenceBounds
+
+        config = AuditorConfig(
+            min_error_confidence=0.7,
+            bounds=ConfidenceBounds(0.9),
+            n_bins=4,
+            audited_attributes=["B", "N"],
+            base_attributes={"B": ["A"], "N": ["A", "B"]},
+        )
+        auditor = DataAuditor(table.schema, config).fit(table)
+        dirty = table.copy()
+        dirty.set_cell(4, "B", "z" if dirty.cell(4, "B") != "z" else "x")
+        dirty.set_cell(9, "N", None)
+        original = auditor.audit(dirty)
+
+        path = tmp_path / "custom_model.json"
+        save_auditor(auditor, path)
+        restored_auditor = load_auditor(path)
+        assert restored_auditor.config.min_error_confidence == 0.7
+        assert restored_auditor.config.bounds == config.bounds
+        assert restored_auditor.config.n_bins == 4
+        assert list(restored_auditor.classifiers) == ["B", "N"]
+        assert restored_auditor.base_attributes_for("B") == ["A"]
+
+        restored = restored_auditor.audit(dirty)
+        assert restored.findings == original.findings
+        assert restored.record_confidence == original.record_confidence
+        assert restored.suspicious_rows() == original.suspicious_rows()

@@ -1,0 +1,177 @@
+"""Tests of the batch-first classifier protocol: every built-in
+classifier's vectorized ``predict_batch`` must reproduce the row-at-a-time
+``predict_encoded`` path exactly (distributions *and* supports), and the
+ABC must provide a working row-loop fallback for third-party classifiers
+that only implement the single-record contract."""
+
+import random
+from typing import Mapping
+
+import numpy as np
+import pytest
+
+from repro.mining import (
+    AttributeClassifier,
+    BatchPrediction,
+    KnnClassifier,
+    NaiveBayesClassifier,
+    OneRClassifier,
+    Prediction,
+    PrismClassifier,
+    TreeClassifier,
+)
+from repro.mining.base import ArrayRowView, batch_length
+from repro.mining.dataset import Dataset
+from repro.schema import Schema, Table, nominal, numeric
+
+CLASSIFIER_FACTORIES = {
+    "tree": TreeClassifier,
+    "naive_bayes": NaiveBayesClassifier,
+    "knn": KnnClassifier,
+    "oner": OneRClassifier,
+    "prism": PrismClassifier,
+}
+
+
+def _messy_table(n=600, seed=13):
+    """A dependent-attribute table with nulls, out-of-domain values and
+    kind violations sprinkled in — exercising every encoding edge the
+    batch path must route identically to the row path (including C4.5
+    fractional-instance blending on missing split values)."""
+    rng = random.Random(seed)
+    rule = {"a": "x", "b": "y", "c": "z"}
+    rows = []
+    for _ in range(n):
+        a = rng.choice(["a", "b", "c"])
+        b = rule[a] if rng.random() > 0.04 else rng.choice(["x", "y", "z"])
+        number = rng.randint(0, 100)
+        if rng.random() < 0.05:
+            a = None
+        if rng.random() < 0.05:
+            b = None
+        if rng.random() < 0.03:
+            b = "OUT_OF_DOMAIN"
+        if rng.random() < 0.05:
+            number = None
+        rows.append([a, b, number])
+    schema = Schema(
+        [
+            nominal("A", ["a", "b", "c"]),
+            nominal("B", ["x", "y", "z"]),
+            numeric("N", 0, 100, integer=True),
+        ]
+    )
+    return Table(schema, rows)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return _messy_table()
+
+
+@pytest.fixture(scope="module")
+def datasets(table):
+    names = list(table.schema.names)
+    return {
+        class_attr: Dataset(table, class_attr, [n for n in names if n != class_attr])
+        for class_attr in names
+    }
+
+
+@pytest.mark.parametrize("kind", CLASSIFIER_FACTORIES)
+@pytest.mark.parametrize("class_attr", ["A", "B", "N"])
+def test_batch_matches_row_path_exactly(datasets, kind, class_attr):
+    dataset = datasets[class_attr]
+    classifier = CLASSIFIER_FACTORIES[kind]()
+    classifier.fit(dataset)
+    batch = classifier.predict_batch(dataset.columns)
+    view = ArrayRowView(dataset.columns)
+    for row in range(dataset.n_rows):
+        view.index = row
+        prediction = classifier.predict_encoded(view)
+        assert np.array_equal(batch.probabilities[row], prediction.probabilities), (
+            f"{kind}/{class_attr}: distribution mismatch at row {row}"
+        )
+        assert batch.support[row] == prediction.n, (
+            f"{kind}/{class_attr}: support mismatch at row {row}"
+        )
+    assert batch.labels == dataset.class_encoder.labels
+
+
+@pytest.mark.parametrize("kind", CLASSIFIER_FACTORIES)
+def test_batch_on_fresh_columns(datasets, table, kind):
+    """predict_batch on columns re-encoded from a *different* table (the
+    audit scenario) matches the fallback row loop on the same columns."""
+    dataset = datasets["B"]
+    classifier = CLASSIFIER_FACTORIES[kind]()
+    classifier.fit(dataset)
+    fresh = _messy_table(n=150, seed=99)
+    columns = {
+        name: dataset.encoders[name].encode_column(fresh.column(name))
+        for name in dataset.base_attrs
+    }
+    batch = classifier.predict_batch(columns)
+    fallback = AttributeClassifier.predict_batch(classifier, columns)
+    assert np.array_equal(batch.probabilities, fallback.probabilities)
+    assert np.array_equal(batch.support, fallback.support)
+
+
+class _MedianOnly(AttributeClassifier):
+    """A deliberately minimal third-party classifier: implements only the
+    single-record contract and inherits the batch fallback."""
+
+    def fit(self, dataset: Dataset) -> None:
+        self.dataset = dataset
+        counts = np.bincount(dataset.y, minlength=dataset.n_labels).astype(float)
+        self._counts = counts
+
+    def predict_encoded(self, encoded: Mapping[str, float]) -> Prediction:
+        dataset = self._require_fitted()
+        n = float(self._counts.sum())
+        return Prediction(self._counts / n, n, dataset.class_encoder.labels)
+
+
+def test_abc_fallback_loops_predict_encoded(datasets):
+    dataset = datasets["B"]
+    classifier = _MedianOnly()
+    classifier.fit(dataset)
+    batch = classifier.predict_batch(dataset.columns)
+    assert isinstance(batch, BatchPrediction)
+    assert batch.n_rows == dataset.n_rows
+    expected = classifier.predict_encoded(
+        ArrayRowView(dataset.columns, index=0)
+    )
+    assert np.array_equal(batch.probabilities[5], expected.probabilities)
+    assert batch.support[3] == expected.n
+
+
+def test_batch_prediction_views(datasets):
+    dataset = datasets["B"]
+    classifier = TreeClassifier()
+    classifier.fit(dataset)
+    batch = classifier.predict_batch(dataset.columns)
+    single = batch.prediction_at(7)
+    assert single.predicted_code == int(batch.predicted_codes[7])
+    assert single.labels == batch.labels
+
+
+def test_empty_batch(datasets):
+    dataset = datasets["B"]
+    classifier = TreeClassifier()
+    classifier.fit(dataset)
+    empty = {name: dataset.columns[name][:0] for name in dataset.base_attrs}
+    batch = classifier.predict_batch(empty)
+    assert batch.n_rows == 0
+    assert batch.probabilities.shape == (0, dataset.n_labels)
+
+
+def test_batch_length_requires_columns_or_n_rows():
+    with pytest.raises(ValueError):
+        batch_length({}, None)
+    assert batch_length({}, 4) == 4
+    assert batch_length({"x": np.zeros(3)}, None) == 3
+
+
+def test_unfitted_predict_batch_raises():
+    with pytest.raises(RuntimeError):
+        TreeClassifier().predict_batch({"x": np.zeros(2)})

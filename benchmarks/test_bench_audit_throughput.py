@@ -1,38 +1,62 @@
-"""E13 — audit-phase throughput of the batch-first classifier protocol.
+"""E13 — audit-phase throughput: batch protocol × parallel executor.
 
 The deviation-detection phase is the online half of sec. 2.2's
 warehouse-loading split ("new data can be checked for deviations and
 loaded quickly"), so its throughput — not the offline induction — bounds
-load latency. This bench measures rows/sec of the vectorized
-``predict_batch`` audit path against the row-at-a-time
-``predict_encoded`` fallback (the pre-redesign semantics, still available
-through the ABC) on one fitted model, and doubles as the CI smoke check
-that the batch path stays fast.
+load latency. This bench measures, on one fitted QUIS model at 80k rows:
+
+* the vectorized ``predict_batch`` audit path against the row-at-a-time
+  ``predict_encoded`` fallback (the pre-redesign semantics, still
+  available through the ABC), and
+* a **jobs sweep** of the multi-core executor — whole-table (per-column
+  fan-out) and chunked (per-chunk fan-out) audits at 1, 2 and 4 worker
+  processes — asserting the parallel reports stay bit-exact with serial
+  and recording the wall-clock win in
+  ``benchmarks/results/E13_audit_throughput.txt``.
+
+Speedup assertions are gated on the cores the machine actually has:
+parallel wall-clock gains are physically impossible on a single-core
+box, and the bit-exactness guarantee is the part that must hold
+everywhere.
 """
 
+import os
 import time
 
-from repro.core import AuditorConfig, DataAuditor
+from repro.core import AuditorConfig, AuditReport, AuditSession, DataAuditor
 from repro.mining.base import AttributeClassifier
 from repro.quis import generate_quis_sample
 
-N_RECORDS = 40_000
+N_RECORDS = 80_000
 #: rows audited by the (slow) row-loop fallback; throughput extrapolates
 ROW_LOOP_RECORDS = 4_000
+CHUNK_SIZE = 10_000
+JOBS_SWEEP = (1, 2, 4)
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def _chunks(table, size):
+    for start in range(0, table.n_rows, size):
+        yield table.select(range(start, min(start + size, table.n_rows)))
 
 
 def test_batch_audit_throughput(benchmark, record_table):
     sample = generate_quis_sample(N_RECORDS, seed=2003)
     auditor = DataAuditor(sample.schema, AuditorConfig(min_error_confidence=0.8))
     auditor.fit(sample.dirty)
+    session = AuditSession(auditor=auditor)
+    cores = os.cpu_count() or 1
 
     def batch_audit():
         return auditor.audit(sample.dirty)
 
     report = benchmark.pedantic(batch_audit, rounds=1, iterations=1)
-    started = time.perf_counter()
-    auditor.audit(sample.dirty)
-    batch_seconds = time.perf_counter() - started
+    _, batch_seconds = _timed(lambda: auditor.audit(sample.dirty))
     batch_rate = N_RECORDS / batch_seconds
 
     # the same audit through the ABC's row-loop fallback, on a slice;
@@ -44,29 +68,91 @@ def test_batch_audit_throughput(benchmark, record_table):
     for cls in patched_classes:
         cls.predict_batch = AttributeClassifier.predict_batch
     try:
-        started = time.perf_counter()
-        row_report = auditor.audit(subset)
-        row_seconds = time.perf_counter() - started
+        row_report, row_seconds = _timed(lambda: auditor.audit(subset))
     finally:
         for cls, original in originals.items():
             cls.predict_batch = original
     row_rate = ROW_LOOP_RECORDS / row_seconds
-    speedup = batch_rate / row_rate
-
-    lines = [
-        "E13 — audit-phase throughput, batch protocol vs row loop",
-        f"{'path':>10}  {'records':>8}  {'time[s]':>8}  {'rows/s':>9}",
-        f"{'batch':>10}  {N_RECORDS:>8}  {batch_seconds:>8.2f}  {batch_rate:>9.0f}",
-        f"{'row loop':>10}  {ROW_LOOP_RECORDS:>8}  {row_seconds:>8.2f}  {row_rate:>9.0f}",
-        f"\nvectorized batch path: {speedup:.1f}× the row-loop throughput",
-    ]
-    record_table("E13_audit_throughput", "\n".join(lines))
+    batch_speedup = batch_rate / row_rate
 
     # sanity: same findings per row regardless of path
     assert row_report.findings == [
         finding for finding in report.findings if finding.row < ROW_LOOP_RECORDS
     ]
+
+    # jobs sweep: whole-table (per-column) and chunked (per-chunk) audits
+    table_times = {}
+    chunk_times = {}
+    for jobs in JOBS_SWEEP:
+        jobs_report, seconds = _timed(
+            lambda: auditor.audit(sample.dirty, n_jobs=jobs)
+        )
+        table_times[jobs] = seconds
+        # the executor's contract: parallelism is invisible in the output
+        assert jobs_report.findings == report.findings
+        assert jobs_report.record_confidence == report.record_confidence
+
+        merged, seconds = _timed(
+            lambda: AuditReport.merge(
+                list(
+                    session.audit_chunks(
+                        _chunks(sample.dirty, CHUNK_SIZE), n_jobs=jobs
+                    )
+                )
+            )
+        )
+        chunk_times[jobs] = seconds
+        assert merged.findings == report.findings
+        assert merged.record_confidence == report.record_confidence
+
+    lines = [
+        "E13 — audit-phase throughput, batch protocol × parallel executor",
+        f"workload: QUIS sample, {N_RECORDS} records; "
+        f"machine: {cores} core(s)",
+        "",
+        "batch protocol vs row loop",
+        f"{'path':>10}  {'records':>8}  {'time[s]':>8}  {'rows/s':>9}",
+        f"{'batch':>10}  {N_RECORDS:>8}  {batch_seconds:>8.2f}  {batch_rate:>9.0f}",
+        f"{'row loop':>10}  {ROW_LOOP_RECORDS:>8}  {row_seconds:>8.2f}  {row_rate:>9.0f}",
+        f"vectorized batch path: {batch_speedup:.1f}× the row-loop throughput",
+        "",
+        f"jobs sweep (bit-exact with serial at every point; chunked = "
+        f"--chunk-size {CHUNK_SIZE})",
+        f"{'jobs':>6}  {'table[s]':>9}  {'rows/s':>9}  {'speedup':>8}  "
+        f"{'chunked[s]':>10}  {'rows/s':>9}  {'speedup':>8}",
+    ]
+    for jobs in JOBS_SWEEP:
+        lines.append(
+            f"{jobs:>6}  {table_times[jobs]:>9.2f}  "
+            f"{N_RECORDS / table_times[jobs]:>9.0f}  "
+            f"{table_times[1] / table_times[jobs]:>7.2f}×  "
+            f"{chunk_times[jobs]:>10.2f}  "
+            f"{N_RECORDS / chunk_times[jobs]:>9.0f}  "
+            f"{chunk_times[1] / chunk_times[jobs]:>7.2f}×"
+        )
+    if cores < 2:
+        lines.append(
+            "\nnote: single-core machine — parallel speedup is not "
+            "expected here; the sweep verifies bit-exactness and records "
+            "the executor overhead. Run on a multi-core box for the "
+            "wall-clock win."
+        )
+    record_table("E13_audit_throughput", "\n".join(lines))
+
     # the batch redesign's reason to exist: a multiple of row-loop speed
-    assert speedup > 3.0
+    assert batch_speedup > 3.0
     # absolute floor so CI catches a vectorization regression
     assert batch_rate > 10_000
+    # the parallel executor's reason to exist: wall-clock wins — asserted
+    # only where the hardware makes them possible (the best of the two
+    # fan-out axes at 4 jobs vs serial on a ≥4-core box). Shared CI
+    # runners advertise 4 cores but time-share them, so CI only enforces
+    # a regression floor; the full 2× bar applies on dedicated hardware.
+    if cores >= 4:
+        best_parallel = min(table_times[4], chunk_times[4])
+        best_serial = min(table_times[1], chunk_times[1])
+        required = 1.2 if os.environ.get("CI") else 2.0
+        assert best_serial / best_parallel >= required, (
+            f"4-job audit only {best_serial / best_parallel:.2f}× faster "
+            f"than serial on a {cores}-core machine (required {required}×)"
+        )

@@ -15,9 +15,10 @@ The package mirrors the paper's architecture:
   column arrays in, a distribution matrix + support vector out);
 * :mod:`repro.core` — the data auditing tool itself: multiple
   classification / regression, error confidence, rankings, corrections,
-  persistence, and the streaming :class:`~repro.core.session.AuditSession`
+  persistence, the streaming :class:`~repro.core.session.AuditSession`
   facade for the offline-fit / online-check warehouse-loading split
-  (secs. 2.2, 5);
+  (secs. 2.2, 5), and the multi-core executor
+  (:mod:`repro.core.parallel`) behind every ``n_jobs=`` parameter;
 * :mod:`repro.testenv` — the fig.-2 benchmark pipeline, sec.-4.3 metrics,
   figure sweeps, and the fig.-1 calibration loop;
 * :mod:`repro.quis` — the synthetic QUIS engine-composition case-study
@@ -49,6 +50,7 @@ from repro.core import (
     Correction,
     DataAuditor,
     Finding,
+    ModelPersistenceError,
     auditor_from_dict,
     auditor_to_dict,
     error_confidence,
@@ -57,6 +59,7 @@ from repro.core import (
     load_auditor,
     min_instances_for_confidence,
     record_error_confidence,
+    resolve_n_jobs,
     save_auditor,
 )
 from repro.generator import (
@@ -123,7 +126,7 @@ from repro.testenv import (
     sweep_rules,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -181,7 +184,9 @@ __all__ = [
     "DataAuditor",
     "AuditorConfig",
     "AuditSession",
+    "ModelPersistenceError",
     "AuditReport",
+    "resolve_n_jobs",
     "Finding",
     "Correction",
     "error_confidence",

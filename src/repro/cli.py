@@ -27,7 +27,11 @@ Example session::
 :class:`~repro.core.session.AuditSession` in N-row chunks (sec. 2.2's
 online load check: memory stays bounded by the chunk size plus the
 findings retained for ranking, not by the load's row count);
-``--format jsonl`` emits machine-readable findings.
+``--format jsonl`` emits machine-readable findings; ``--jobs N`` runs
+the deviation check on N worker processes (per column for whole-table
+audits, per chunk when combined with ``--chunk-size``) with bit-identical
+output. See ``docs/architecture.md`` for the execution model and the
+README for a full flag reference.
 """
 
 from __future__ import annotations
@@ -43,8 +47,8 @@ from typing import Optional, Sequence
 from repro import __version__
 from repro.core.auditor import AuditorConfig, DataAuditor
 from repro.core.findings import Finding
-from repro.core.serialize import load_auditor, save_auditor
-from repro.core.session import AuditSession
+from repro.core.serialize import save_auditor
+from repro.core.session import AuditSession, ModelPersistenceError
 from repro.generator.profiles import base_profile, base_schema
 from repro.pollution.log import PollutionLog
 from repro.pollution.pipeline import PollutionPipeline, default_polluters
@@ -122,6 +126,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="csv",
         help="findings output format; jsonl without --findings-out "
         "writes one JSON object per finding to stdout",
+    )
+    p_audit.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the deviation check (default 1 = serial; "
+        "-1 = all cores); output is identical regardless of job count",
     )
 
     p_evaluate = sub.add_parser(
@@ -212,22 +223,14 @@ def _cmd_fit(args: argparse.Namespace) -> int:
 def _load_model(path: Path) -> DataAuditor:
     """Load a persisted auditor, turning the many ways a model file can be
     broken (missing, not JSON, wrong format, truncated payload, unfitted)
-    into one clear CLI error instead of a traceback."""
+    into one clear CLI error instead of a traceback. The translation
+    itself lives in :meth:`AuditSession.load
+    <repro.core.session.AuditSession.load>`, so parallel-mode model
+    configs get the same one-line errors everywhere."""
     try:
-        auditor = load_auditor(path)
-    except OSError as exc:
-        raise SystemExit(f"error: cannot read model file {path}: {exc}") from exc
-    except (json.JSONDecodeError, ValueError, KeyError, TypeError) as exc:
-        raise SystemExit(
-            f"error: {path} is not a valid auditor model "
-            f"(expected the JSON written by 'repro fit'): {exc}"
-        ) from exc
-    if not auditor.classifiers:
-        raise SystemExit(
-            f"error: model {path} contains no fitted classifiers; "
-            f"re-run 'repro fit' to induce a structure model"
-        )
-    return auditor
+        return AuditSession.load(path).auditor
+    except ModelPersistenceError as exc:
+        raise SystemExit(f"error: {exc}") from exc
 
 
 def _finding_to_json(finding: Finding) -> dict:
@@ -279,11 +282,14 @@ def _write_findings(findings: list[Finding], args: argparse.Namespace) -> None:
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
+    # flag validation first — don't pay a model load to report a bad flag
+    if args.jobs == 0:
+        raise SystemExit("error: --jobs must not be 0 (use 1 for serial, -1 for all cores)")
+    if args.chunk_size is not None and args.chunk_size < 1:
+        raise SystemExit("error: --chunk-size must be at least 1")
     auditor = _load_model(args.model)
     quiet = args.format == "jsonl" and not args.findings_out
     if args.chunk_size is not None:
-        if args.chunk_size < 1:
-            raise SystemExit("error: --chunk-size must be at least 1")
         # keep only the findings across chunks (the output), never the
         # per-row confidences — peak memory must not grow with row count
         session = AuditSession(auditor=auditor)
@@ -291,7 +297,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         n_rows = 0
         n_chunks = 0
         for chunk_report in session.audit_csv_stream(
-            args.input, chunk_size=args.chunk_size
+            args.input, chunk_size=args.chunk_size, n_jobs=args.jobs
         ):
             n_chunks += 1
             n_rows += chunk_report.n_rows
@@ -304,7 +310,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         findings = sorted(collected, key=lambda f: (-f.confidence, f.row, f.attribute))
     else:
         table = read_csv(auditor.schema, args.input)
-        report = auditor.audit(table)
+        report = auditor.audit(table, n_jobs=args.jobs)
         findings = report.findings
         n_rows = report.n_rows
     n_suspicious = len({finding.row for finding in findings})

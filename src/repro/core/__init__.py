@@ -2,12 +2,13 @@
 
 Multiple classification / regression auditor (sec. 5), error-confidence
 measures (Defs. 7–9), ranked findings and correction proposals
-(sec. 5.2–5.3), structure model, model persistence and the streaming
+(sec. 5.2–5.3), structure model, model persistence, the streaming
 :class:`~repro.core.session.AuditSession` facade for the asynchronous
-warehouse-loading workflow (sec. 2.2).
+warehouse-loading workflow (sec. 2.2), and the multi-core audit executor
+(:mod:`repro.core.parallel`) behind every ``n_jobs=`` parameter.
 """
 
-from repro.core.auditor import AuditorConfig, DataAuditor
+from repro.core.auditor import AuditorConfig, ColumnCache, DataAuditor
 from repro.core.confidence import (
     error_confidence,
     error_confidence_batch,
@@ -17,6 +18,11 @@ from repro.core.confidence import (
     record_error_confidence,
 )
 from repro.core.findings import AuditReport, Correction, Finding
+from repro.core.parallel import (
+    audit_chunks_parallel,
+    audit_table_parallel,
+    resolve_n_jobs,
+)
 from repro.core.review import Decision, DecisionKind, ReviewItem, ReviewSession
 from repro.core.serialize import (
     auditor_from_dict,
@@ -24,13 +30,18 @@ from repro.core.serialize import (
     load_auditor,
     save_auditor,
 )
-from repro.core.session import AuditSession
+from repro.core.session import AuditSession, ModelPersistenceError
 
 __all__ = [
     "DataAuditor",
     "AuditorConfig",
+    "ColumnCache",
     "AuditSession",
+    "ModelPersistenceError",
     "AuditReport",
+    "resolve_n_jobs",
+    "audit_table_parallel",
+    "audit_chunks_parallel",
     "Finding",
     "Correction",
     "error_confidence",

@@ -18,6 +18,14 @@ Domain knowledge plugs in through :attr:`AuditorConfig.base_attributes`
 ("If it is known that an attribute does not influence the value of a class
 attribute, it can be removed from the set of base attributes") and
 :attr:`AuditorConfig.audited_attributes`.
+
+Deviation detection is embarrassingly parallel across class attributes:
+each classifier's check reads shared encoded columns and writes only its
+own confidences and findings. :meth:`DataAuditor.audit_attribute` is that
+independent unit of work; ``audit(table, n_jobs=N)`` fans the units out
+over a process pool (:mod:`repro.core.parallel`) and folds the results
+into the same :class:`~repro.core.findings.AuditReport` the serial path
+produces, bit for bit.
 """
 
 from __future__ import annotations
@@ -42,7 +50,39 @@ from repro.mining.tree.rules import TreeRule
 from repro.schema.schema import Schema
 from repro.schema.table import Table
 
-__all__ = ["AuditorConfig", "DataAuditor"]
+__all__ = ["AuditorConfig", "ColumnCache", "DataAuditor"]
+
+
+class ColumnCache:
+    """Encode-once column store shared by every classifier auditing one
+    table.
+
+    Base-attribute encoders are deterministic per schema attribute, so an
+    encoded column is identical no matter which classifier requests it;
+    caching by attribute name turns the audit's encoding cost from
+    O(attributes²) into O(attributes). The serial audit keeps one cache
+    per table; each parallel worker keeps one per (table, process).
+    """
+
+    __slots__ = ("table", "_raw", "_encoded")
+
+    def __init__(self, table: Table):
+        self.table = table
+        self._raw: dict[str, list] = {}
+        self._encoded: dict[str, np.ndarray] = {}
+
+    def raw(self, name: str) -> list:
+        """The raw (decoded) cell values of one column."""
+        if name not in self._raw:
+            self._raw[name] = self.table.column(name)
+        return self._raw[name]
+
+    def encoded(self, name: str, encoder) -> np.ndarray:
+        """The column encoded by *encoder* (cached by attribute name —
+        encoders are deterministic per schema attribute)."""
+        if name not in self._encoded:
+            self._encoded[name] = encoder.encode_column(self.raw(name))
+        return self._encoded[name]
 
 
 def _default_classifier_factory(config: "AuditorConfig") -> AttributeClassifier:
@@ -82,6 +122,12 @@ class AuditorConfig:
         attribute (default: all other attributes).
     audited_attributes:
         Restrict auditing to these attributes (default: all).
+    n_jobs:
+        Default worker count for deviation detection: ``1`` (the default)
+        audits serially in-process, ``N > 1`` fans out over *N* worker
+        processes, negative counts are cpu-relative (``-1`` = all cores).
+        The per-call ``n_jobs=`` argument of :meth:`DataAuditor.audit`
+        overrides it. Parallel and serial audits are bit-identical.
     """
 
     min_error_confidence: float = 0.80
@@ -90,12 +136,18 @@ class AuditorConfig:
     classifier_factory: Optional[Callable[["AuditorConfig"], AttributeClassifier]] = None
     base_attributes: Mapping[str, Sequence[str]] = field(default_factory=dict)
     audited_attributes: Optional[Sequence[str]] = None
+    n_jobs: int = 1
 
     def __post_init__(self) -> None:
         if not 0.0 < self.min_error_confidence < 1.0:
             raise ValueError("min_error_confidence must lie strictly in (0, 1)")
         if self.n_bins < 2:
             raise ValueError("n_bins must be at least 2")
+        if self.n_jobs == 0:
+            raise ValueError(
+                "n_jobs must be a positive worker count or a negative "
+                "cpu-relative count (-1 = all cores), not 0"
+            )
 
     def make_classifier(self) -> AttributeClassifier:
         factory = self.classifier_factory or _default_classifier_factory
@@ -147,7 +199,7 @@ class DataAuditor:
 
     # -- deviation detection ---------------------------------------------------
 
-    def audit(self, table: Table) -> AuditReport:
+    def audit(self, table: Table, *, n_jobs: Optional[int] = None) -> AuditReport:
         """Check every record of *table* for deviations (sec. 5.2).
 
         The table may be the training table itself (the paper: "a data
@@ -160,65 +212,92 @@ class DataAuditor:
         :meth:`~repro.mining.base.AttributeClassifier.predict_batch` and
         the Def.-7 confidences are computed vectorized. Base-attribute
         encoders are deterministic per schema attribute, so each table
-        column is encoded once and shared across all classifiers that use
-        it instead of being rebuilt per class attribute.
+        column is encoded once (through a :class:`ColumnCache`) and
+        shared across all classifiers that use it instead of being
+        rebuilt per class attribute.
+
+        *n_jobs* (default: :attr:`AuditorConfig.n_jobs`) selects the
+        executor: ``1`` runs the serial in-process fast path; ``N > 1``
+        fans the per-attribute checks out over *N* worker processes
+        (:func:`repro.core.parallel.audit_table_parallel`); negative
+        counts are cpu-relative (``-1`` = all cores). The report is
+        bit-identical either way — the fold over per-attribute results
+        is deterministic.
         """
+        from repro.core.parallel import audit_table_parallel, resolve_n_jobs
+
         if not self.classifiers:
             raise RuntimeError("auditor is not fitted")
         if table.schema != self.schema:
             raise ValueError("table schema does not match the auditor's schema")
-        n_rows = table.n_rows
-        record_confidence = np.zeros(n_rows, dtype=float)
+        jobs = resolve_n_jobs(self.config.n_jobs if n_jobs is None else n_jobs)
+        if jobs > 1 and len(self.classifiers) > 1 and table.n_rows > 0:
+            return audit_table_parallel(self, table, jobs)
+        cache = ColumnCache(table)
+        record_confidence = np.zeros(table.n_rows, dtype=float)
         findings: list[Finding] = []
-        threshold = self.config.min_error_confidence
-        bounds = self.config.bounds
-        raw_columns: dict[str, list] = {}
-        encoded_columns: dict[str, np.ndarray] = {}
-
-        def raw_column(name: str) -> list:
-            if name not in raw_columns:
-                raw_columns[name] = table.column(name)
-            return raw_columns[name]
-
-        for class_attr, classifier in self.classifiers.items():
-            dataset = classifier.dataset
-            assert dataset is not None
-            for name in dataset.base_attrs:
-                if name not in encoded_columns:
-                    encoded_columns[name] = dataset.encoders[name].encode_column(
-                        raw_column(name)
-                    )
-            columns = {name: encoded_columns[name] for name in dataset.base_attrs}
-            class_values = raw_column(class_attr)
-            observed_codes = dataset.class_encoder.encode_column(class_values)
-            batch = classifier.predict_batch(columns, n_rows=n_rows)
-            confidences = error_confidence_batch(
-                batch.probabilities, batch.support, observed_codes, bounds
-            )
+        for class_attr in self.classifiers:
+            confidences, attr_findings = self.audit_attribute(class_attr, cache)
             np.maximum(record_confidence, confidences, out=record_confidence)
-            flagged = np.flatnonzero(confidences >= threshold)
-            if flagged.size == 0:
-                continue
-            labels = dataset.class_encoder.labels
-            predicted_codes = np.argmax(batch.probabilities[flagged], axis=1)
-            proposals = {
-                code: dataset.class_encoder.proposal_for(labels[code])
-                for code in set(predicted_codes.tolist())
-            }
-            for row, predicted in zip(flagged.tolist(), predicted_codes.tolist()):
-                findings.append(
-                    Finding(
-                        row=row,
-                        attribute=class_attr,
-                        observed_label=labels[int(observed_codes[row])],
-                        observed_value=class_values[row],
-                        predicted_label=labels[predicted],
-                        confidence=float(confidences[row]),
-                        support=float(batch.support[row]),
-                        proposal=proposals[predicted],
-                    )
+            findings.extend(attr_findings)
+        return AuditReport(
+            table.n_rows,
+            findings,
+            record_confidence.tolist(),
+            self.config.min_error_confidence,
+            schema=table.schema,
+        )
+
+    def audit_attribute(
+        self, class_attr: str, cache: ColumnCache
+    ) -> tuple[np.ndarray, list[Finding]]:
+        """One class attribute's deviation check — the independent unit of
+        work both executors are built from.
+
+        Returns the per-record Def.-7 error confidences of this
+        classifier (the Def.-8 record confidence is the elementwise
+        maximum over all attributes) and the findings at or above the
+        configured threshold. Reads only the shared *cache*; writes
+        nothing — safe to run concurrently for different attributes.
+        """
+        classifier = self.classifiers[class_attr]
+        dataset = classifier.dataset
+        assert dataset is not None
+        n_rows = cache.table.n_rows
+        columns = {
+            name: cache.encoded(name, dataset.encoders[name])
+            for name in dataset.base_attrs
+        }
+        class_values = cache.raw(class_attr)
+        observed_codes = dataset.class_encoder.encode_column(class_values)
+        batch = classifier.predict_batch(columns, n_rows=n_rows)
+        confidences = error_confidence_batch(
+            batch.probabilities, batch.support, observed_codes, self.config.bounds
+        )
+        findings: list[Finding] = []
+        flagged = np.flatnonzero(confidences >= self.config.min_error_confidence)
+        if flagged.size == 0:
+            return confidences, findings
+        labels = dataset.class_encoder.labels
+        predicted_codes = np.argmax(batch.probabilities[flagged], axis=1)
+        proposals = {
+            code: dataset.class_encoder.proposal_for(labels[code])
+            for code in set(predicted_codes.tolist())
+        }
+        for row, predicted in zip(flagged.tolist(), predicted_codes.tolist()):
+            findings.append(
+                Finding(
+                    row=row,
+                    attribute=class_attr,
+                    observed_label=labels[int(observed_codes[row])],
+                    observed_value=class_values[row],
+                    predicted_label=labels[predicted],
+                    confidence=float(confidences[row]),
+                    support=float(batch.support[row]),
+                    proposal=proposals[predicted],
                 )
-        return AuditReport(n_rows, findings, record_confidence.tolist(), threshold)
+            )
+        return confidences, findings
 
     # -- structure model ----------------------------------------------------------
 

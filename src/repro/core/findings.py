@@ -14,6 +14,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Sequence
 
+from repro.schema.schema import Schema
 from repro.schema.table import Table
 from repro.schema.types import Value
 
@@ -67,6 +68,8 @@ class AuditReport:
         record_confidence: Sequence[float],
         min_error_confidence: float,
         row_offset: int = 0,
+        *,
+        schema: Optional[Schema] = None,
     ):
         self.n_rows = n_rows
         self.findings: list[Finding] = sorted(
@@ -83,6 +86,11 @@ class AuditReport:
         #: rows are stream-global while ``record_confidence`` still covers
         #: only the chunk's own ``n_rows`` records
         self.row_offset = row_offset
+        #: schema of the audited table when the report came out of a
+        #: :class:`~repro.core.auditor.DataAuditor` (None for hand-built
+        #: reports); :meth:`merge` refuses to concatenate reports whose
+        #: schemas differ
+        self.schema = schema
         self._by_row: dict[int, list[Finding]] = {}
         for finding in self.findings:
             self._by_row.setdefault(finding.row, []).append(finding)
@@ -141,13 +149,17 @@ class AuditReport:
             self.record_confidence,
             self.min_error_confidence,
             row_offset=self.row_offset + offset,
+            schema=self.schema,
         )
 
     @classmethod
     def merge(cls, reports: Sequence["AuditReport"]) -> "AuditReport":
         """Combine incremental chunk reports into one whole-stream report.
 
-        The inputs must share one minimal error confidence and form a
+        The inputs must share one minimal error confidence, come from one
+        schema (reports that carry a schema and disagree are rejected —
+        silently concatenating audits of different relations would
+        produce a report whose findings mix vocabularies), and form a
         contiguous stream (each report's :attr:`row_offset` continues
         where the previous one ended) — exactly what
         :meth:`AuditSession.audit_chunks <repro.core.session.AuditSession.audit_chunks>`
@@ -161,6 +173,18 @@ class AuditReport:
         threshold = reports[0].min_error_confidence
         if any(r.min_error_confidence != threshold for r in reports):
             raise ValueError("cannot merge reports with different thresholds")
+        schema: Optional[Schema] = None
+        for report in reports:
+            if report.schema is None:
+                continue
+            if schema is None:
+                schema = report.schema
+            elif report.schema != schema:
+                raise ValueError(
+                    f"cannot merge audit reports of different schemas: "
+                    f"{list(schema.names)!r} vs {list(report.schema.names)!r} "
+                    f"(chunks of one stream must come from one relation)"
+                )
         expected_offset = reports[0].row_offset
         findings: list[Finding] = []
         record_confidence: list[float] = []
@@ -180,6 +204,7 @@ class AuditReport:
             record_confidence,
             threshold,
             row_offset=reports[0].row_offset,
+            schema=schema,
         )
 
     # -- corrections (sec. 5.3) ------------------------------------------------

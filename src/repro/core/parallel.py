@@ -1,0 +1,267 @@
+"""The multi-core audit executor: deviation detection on a process pool.
+
+The paper's warehouse workflow (sec. 2.2) makes the online check the
+latency-critical half of auditing, and that check is embarrassingly
+parallel along two axes:
+
+* **per column** — each class attribute's classifier reads shared encoded
+  columns and produces its own confidences and findings
+  (:meth:`DataAuditor.audit_attribute
+  <repro.core.auditor.DataAuditor.audit_attribute>` is the independent
+  unit). :func:`audit_table_parallel` fans those units out and folds the
+  results with the same elementwise-maximum / concatenate-then-sort fold
+  the serial loop uses.
+* **per chunk** — a streaming load's chunks are independent audits whose
+  reports concatenate losslessly (:meth:`AuditReport.merge
+  <repro.core.findings.AuditReport.merge>`). :func:`audit_chunks_parallel`
+  keeps a bounded window of chunks in flight and yields reports in
+  stream order, shifted by :meth:`AuditReport.with_row_offset
+  <repro.core.findings.AuditReport.with_row_offset>`.
+
+Both folds are deterministic, so a parallel audit is **bit-identical** to
+the serial one: per-attribute confidences fold through ``max`` (order
+independent, exact for floats), findings are re-sorted by
+:class:`~repro.core.findings.AuditReport` on construction, and chunk
+reports are folded in stream order regardless of completion order.
+
+Workers receive the fitted model once, at pool start-up: the dispatch
+payload is the auditor with each classifier swapped for its
+:meth:`~repro.mining.base.AttributeClassifier.prediction_payload` (for
+trees, a clone without the encoded training matrix) and with the
+non-picklable ``classifier_factory`` dropped — only :meth:`fit
+<repro.core.auditor.DataAuditor.fit>` needs the factory, and workers
+never fit. The ``fork`` start method is preferred where available
+(payload shared via copy-on-write); ``spawn`` is the fallback and works
+because the payload is fully picklable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import multiprocessing
+import os
+import pickle
+from collections import deque
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.core.findings import AuditReport, Finding
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a module cycle
+    from repro.core.auditor import DataAuditor
+    from repro.schema.table import Table
+
+__all__ = [
+    "resolve_n_jobs",
+    "dispatch_payload",
+    "audit_table_parallel",
+    "audit_chunks_parallel",
+]
+
+
+def resolve_n_jobs(n_jobs: Optional[int]) -> int:
+    """Normalize a job count: ``None`` → 1 (serial), positive counts pass
+    through, negative counts are cpu-relative in the joblib convention
+    (``-1`` = all cores, ``-2`` = all but one, …), 0 is rejected."""
+    if n_jobs is None:
+        return 1
+    n_jobs = int(n_jobs)
+    if n_jobs < 0:
+        return max(1, (os.cpu_count() or 1) + 1 + n_jobs)
+    if n_jobs == 0:
+        raise ValueError(
+            "n_jobs must be a positive worker count or a negative "
+            "cpu-relative count (-1 = all cores), not 0"
+        )
+    return n_jobs
+
+
+def _mp_context():
+    """``fork`` where available (cheap start-up, copy-on-write payload),
+    else ``spawn`` (macOS default / Windows)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def dispatch_payload(auditor: "DataAuditor") -> "DataAuditor":
+    """The lean auditor clone shipped to worker processes.
+
+    Classifiers are swapped for their
+    :meth:`~repro.mining.base.AttributeClassifier.prediction_payload`
+    and the config's ``classifier_factory`` (often a closure, hence not
+    picklable) is dropped — workers only predict, never fit.
+    """
+    clone = object.__new__(type(auditor))
+    clone.schema = auditor.schema
+    clone.config = dataclasses.replace(auditor.config, classifier_factory=None)
+    clone.classifiers = {
+        class_attr: classifier.prediction_payload()
+        for class_attr, classifier in auditor.classifiers.items()
+    }
+    clone.fit_seconds = auditor.fit_seconds
+    return clone
+
+
+# -- worker side -----------------------------------------------------------
+#
+# One payload per pool, installed by the initializer; tasks then name only
+# the class attribute (per-column mode) or carry only the chunk (per-chunk
+# mode). Module globals are per worker process.
+#
+# Under ``fork`` the payload is staged in a parent-side global instead of
+# being pickled through initargs: forked children inherit the parent's
+# memory copy-on-write, so even a multi-million-row table reaches the
+# workers without a serialization pass. ``spawn`` workers get pickled
+# bytes — the only portable channel.
+
+_WORKER_AUDITOR: Optional["DataAuditor"] = None
+_WORKER_CACHE = None  # ColumnCache over the shared table (per-column mode)
+
+#: payloads staged in the parent for fork-inheriting workers, keyed by a
+#: per-pool token; each entry holds (auditor, table) in per-column mode
+#: and (auditor, None) in per-chunk mode, and lives for the whole pool
+#: lifetime — a worker respawned after a crash forks from the parent
+#: later and must still find it, and concurrent audits (from threads)
+#: each own their token instead of racing on one slot
+_DISPATCH_REGISTRY: dict[int, tuple] = {}
+_dispatch_tokens = itertools.count()
+
+
+def _install_dispatch(auditor: "DataAuditor", table: Optional["Table"]) -> None:
+    from repro.core.auditor import ColumnCache
+
+    global _WORKER_AUDITOR, _WORKER_CACHE
+    _WORKER_AUDITOR = auditor
+    _WORKER_CACHE = ColumnCache(table) if table is not None else None
+
+
+def _init_worker_from_registry(token: int) -> None:
+    """Initializer for fork-start workers: adopt the payload inherited
+    from the parent's registry."""
+    _install_dispatch(*_DISPATCH_REGISTRY[token])
+
+
+def _init_worker_from_bytes(payload: bytes) -> None:
+    """Initializer for spawn-start workers: unpickle the payload."""
+    _install_dispatch(*pickle.loads(payload))
+
+
+def _audit_attribute_task(class_attr: str) -> tuple[np.ndarray, list[Finding]]:
+    assert _WORKER_AUDITOR is not None and _WORKER_CACHE is not None
+    return _WORKER_AUDITOR.audit_attribute(class_attr, _WORKER_CACHE)
+
+
+def _audit_chunk_task(chunk: "Table") -> AuditReport:
+    assert _WORKER_AUDITOR is not None
+    return _WORKER_AUDITOR.audit(chunk, n_jobs=1)
+
+
+# -- driver side -----------------------------------------------------------
+
+
+class _dispatch_pool:
+    """Context manager: a worker pool whose processes hold the dispatch
+    payload — inherited copy-on-write under ``fork``, pickled under
+    ``spawn``."""
+
+    def __init__(self, n_jobs: int, auditor: "DataAuditor", table: Optional["Table"]):
+        self.n_jobs = n_jobs
+        self.payload = (dispatch_payload(auditor), table)
+        self.ctx = _mp_context()
+        self.token: Optional[int] = None
+
+    def __enter__(self):
+        if self.ctx.get_start_method() == "fork":
+            self.token = next(_dispatch_tokens)
+            _DISPATCH_REGISTRY[self.token] = self.payload
+            self.pool = self.ctx.Pool(
+                self.n_jobs,
+                initializer=_init_worker_from_registry,
+                initargs=(self.token,),
+            )
+        else:
+            self.pool = self.ctx.Pool(
+                self.n_jobs,
+                initializer=_init_worker_from_bytes,
+                initargs=(
+                    pickle.dumps(self.payload, protocol=pickle.HIGHEST_PROTOCOL),
+                ),
+            )
+        return self.pool
+
+    def __exit__(self, *exc_info):
+        self.pool.terminate()
+        self.pool.join()
+        if self.token is not None:
+            _DISPATCH_REGISTRY.pop(self.token, None)
+        return False
+
+
+def audit_table_parallel(
+    auditor: "DataAuditor", table: "Table", n_jobs: int
+) -> AuditReport:
+    """Audit one table with per-column fan-out over *n_jobs* workers.
+
+    Each task is one class attribute's deviation check; every worker
+    holds the shared table and its own encode-once
+    :class:`~repro.core.auditor.ColumnCache` (columns are encoded at most
+    once per worker, as in the serial path they are encoded at most once
+    per audit). Results fold in classifier order — but the fold (``max``
+    over confidences, findings re-sorted on report construction) is order
+    independent, so the report is bit-identical to ``n_jobs=1``.
+    """
+    attrs = list(auditor.classifiers)
+    n_jobs = min(n_jobs, len(attrs))
+    with _dispatch_pool(n_jobs, auditor, table) as pool:
+        results = pool.map(_audit_attribute_task, attrs, chunksize=1)
+    record_confidence = np.zeros(table.n_rows, dtype=float)
+    findings: list[Finding] = []
+    for confidences, attr_findings in results:
+        np.maximum(record_confidence, confidences, out=record_confidence)
+        findings.extend(attr_findings)
+    return AuditReport(
+        table.n_rows,
+        findings,
+        record_confidence.tolist(),
+        auditor.config.min_error_confidence,
+        schema=table.schema,
+    )
+
+
+def audit_chunks_parallel(
+    auditor: "DataAuditor",
+    chunks: Iterable["Table"],
+    n_jobs: int,
+    *,
+    max_pending: Optional[int] = None,
+) -> Iterator[AuditReport]:
+    """Audit a chunk stream with per-chunk fan-out over *n_jobs* workers.
+
+    At most *max_pending* chunks (default ``2 * n_jobs``) are in flight
+    at once, so peak memory stays bounded by the chunk size times a
+    small constant — the streaming guarantee of
+    :meth:`AuditSession.audit_chunks
+    <repro.core.session.AuditSession.audit_chunks>`, relaxed from
+    one-at-a-time to a fixed window. Reports are yielded in stream order
+    with stream-global row offsets, whatever order workers finish in;
+    merging them reproduces the whole-stream audit exactly.
+    """
+    window = max_pending if max_pending is not None else 2 * n_jobs
+    if window < 1:
+        raise ValueError("max_pending must be at least 1")
+    with _dispatch_pool(n_jobs, auditor, None) as pool:
+        pending: deque = deque()
+        offset = 0
+        for chunk in chunks:
+            pending.append(
+                (offset, pool.apply_async(_audit_chunk_task, (chunk,)))
+            )
+            offset += chunk.n_rows
+            if len(pending) >= window:
+                chunk_offset, result = pending.popleft()
+                yield result.get().with_row_offset(chunk_offset)
+        while pending:
+            chunk_offset, result = pending.popleft()
+            yield result.get().with_row_offset(chunk_offset)

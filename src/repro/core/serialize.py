@@ -162,6 +162,7 @@ def auditor_to_dict(auditor: DataAuditor) -> dict[str, Any]:
                 if config.audited_attributes is not None
                 else None
             ),
+            "n_jobs": config.n_jobs,
         },
         "classifiers": classifiers,
     }
@@ -180,6 +181,8 @@ def auditor_from_dict(payload: Mapping[str, Any]) -> DataAuditor:
         n_bins=config_payload["n_bins"],
         base_attributes=config_payload["base_attributes"],
         audited_attributes=config_payload["audited_attributes"],
+        # absent in models written before the parallel executor existed
+        n_jobs=config_payload.get("n_jobs", 1),
     )
     auditor = DataAuditor(schema, config)
     for class_attr, entry in payload["classifiers"].items():

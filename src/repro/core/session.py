@@ -20,20 +20,46 @@ first-class API on top of :class:`~repro.core.auditor.DataAuditor`:
   :meth:`AuditReport.merge <repro.core.findings.AuditReport.merge>`
   recovers the exact whole-table report afterwards. Peak memory is
   bounded by the chunk size, not the stream length.
+
+Every audit entry point takes ``n_jobs=`` and fans out over a process
+pool when it exceeds 1 (:mod:`repro.core.parallel`): whole-table audits
+parallelize per column, chunk streams per chunk. Results are
+bit-identical to the serial path.
+
+Model-file failures surface as :class:`ModelPersistenceError`, whose
+``str()`` is a one-line reason (missing file, corrupt JSON, wrong
+format, unfitted model) — the CLI prints it verbatim, and callers
+embedding the session get one exception type to catch instead of the
+open-ended set the JSON/OS layers raise.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import Iterable, Iterator, Optional, Union
 
 from repro.core.auditor import AuditorConfig, DataAuditor
 from repro.core.findings import AuditReport
+from repro.core.parallel import audit_chunks_parallel, resolve_n_jobs
 from repro.schema.io import read_csv_chunks
 from repro.schema.schema import Schema
 from repro.schema.table import Table
 
-__all__ = ["AuditSession"]
+__all__ = ["AuditSession", "ModelPersistenceError"]
+
+
+class ModelPersistenceError(RuntimeError):
+    """A persisted structure model could not be written or read back.
+
+    ``str(exc)`` is a single line naming the file and the reason —
+    suitable for direct display to an operator. Raised by
+    :meth:`AuditSession.save` / :meth:`AuditSession.load` for every
+    failure class: unreadable or unwritable files, corrupt or truncated
+    JSON, unknown model formats, invalid configurations (including
+    parallel-mode configs with a bad ``n_jobs``), and models without
+    fitted classifiers.
+    """
 
 
 class AuditSession:
@@ -84,25 +110,74 @@ class AuditSession:
         return self
 
     def save(self, path: Union[str, Path]) -> None:
-        """Persist the fitted structure model for the online job."""
+        """Persist the fitted structure model for the online job.
+
+        Raises :class:`ModelPersistenceError` (one-line message) when the
+        session is unfitted, a classifier type is not serializable, or
+        the file cannot be written.
+        """
         from repro.core.serialize import save_auditor
 
-        save_auditor(self.auditor, path)
+        if not self.is_fitted:
+            raise ModelPersistenceError(
+                f"cannot save an unfitted session to {path}; call fit() first"
+            )
+        try:
+            save_auditor(self.auditor, path)
+        except OSError as exc:
+            raise ModelPersistenceError(
+                f"cannot write model file {path}: {exc}"
+            ) from exc
+        except (TypeError, ValueError) as exc:
+            raise ModelPersistenceError(
+                f"cannot serialize model to {path}: {exc}"
+            ) from exc
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "AuditSession":
-        """Resume a session from a persisted structure model."""
+        """Resume a session from a persisted structure model.
+
+        Raises :class:`ModelPersistenceError` (one-line message) for a
+        missing/unreadable file, corrupt or truncated JSON, an unknown
+        format, an invalid configuration (parallel-mode ``n_jobs``
+        included), or a model with no fitted classifiers.
+        """
         from repro.core.serialize import load_auditor
 
-        return cls(auditor=load_auditor(path))
+        try:
+            auditor = load_auditor(path)
+        except OSError as exc:
+            raise ModelPersistenceError(
+                f"cannot read model file {path}: {exc}"
+            ) from exc
+        except (json.JSONDecodeError, ValueError, KeyError, TypeError) as exc:
+            raise ModelPersistenceError(
+                f"{path} is not a valid auditor model "
+                f"(expected the JSON written by 'repro fit' or "
+                f"AuditSession.save): {exc}"
+            ) from exc
+        if not auditor.classifiers:
+            raise ModelPersistenceError(
+                f"model {path} contains no fitted classifiers; "
+                f"re-run 'repro fit' to induce a structure model"
+            )
+        return cls(auditor=auditor)
 
     # -- online: deviation detection ----------------------------------------
 
-    def audit(self, table: Table) -> AuditReport:
-        """Check one whole table (the batch-vectorized path)."""
-        return self.auditor.audit(table)
+    def audit(self, table: Table, *, n_jobs: Optional[int] = None) -> AuditReport:
+        """Check one whole table (the batch-vectorized path).
 
-    def audit_chunks(self, chunks: Iterable[Table]) -> Iterator[AuditReport]:
+        ``n_jobs > 1`` audits the table's attributes on a process pool
+        (:func:`~repro.core.parallel.audit_table_parallel`); the default
+        comes from :attr:`AuditorConfig.n_jobs
+        <repro.core.auditor.AuditorConfig.n_jobs>`.
+        """
+        return self.auditor.audit(table, n_jobs=n_jobs)
+
+    def audit_chunks(
+        self, chunks: Iterable[Table], *, n_jobs: Optional[int] = None
+    ) -> Iterator[AuditReport]:
         """Check an iterable of table chunks, yielding one incremental
         report per chunk.
 
@@ -112,12 +187,23 @@ class AuditSession:
         losslessly:
         ``AuditReport.merge(session.audit_chunks(chunks))`` equals the
         whole-table audit of the concatenated chunks, finding for finding.
-        Chunks are consumed lazily — nothing is pulled from the iterable
-        before the previous chunk's report has been yielded.
+
+        With the serial executor (``n_jobs=1``, the default) chunks are
+        consumed lazily — nothing is pulled from the iterable before the
+        previous chunk's report has been yielded. With ``n_jobs > 1``
+        chunks are audited concurrently on a process pool
+        (:func:`~repro.core.parallel.audit_chunks_parallel`): up to
+        ``2 * n_jobs`` chunks are in flight, reports still arrive in
+        stream order, and the merged report is bit-identical to the
+        serial one.
         """
+        jobs = resolve_n_jobs(self.config.n_jobs if n_jobs is None else n_jobs)
+        if jobs > 1:
+            yield from audit_chunks_parallel(self.auditor, chunks, jobs)
+            return
         offset = 0
         for chunk in chunks:
-            yield self.auditor.audit(chunk).with_row_offset(offset)
+            yield self.auditor.audit(chunk, n_jobs=1).with_row_offset(offset)
             offset += chunk.n_rows
 
     def audit_csv_stream(
@@ -126,16 +212,20 @@ class AuditSession:
         *,
         chunk_size: int = 8192,
         null_marker: str = "",
+        n_jobs: Optional[int] = None,
     ) -> Iterator[AuditReport]:
         """Check a CSV file (path or text stream) chunk by chunk.
 
-        Peak memory is bounded by *chunk_size*, independent of the file's
-        row count; see :meth:`audit_chunks` for the report semantics.
+        Peak memory is bounded by *chunk_size* (times a small constant
+        window when ``n_jobs > 1``), independent of the file's row count;
+        see :meth:`audit_chunks` for the report and parallelism
+        semantics.
         """
         yield from self.audit_chunks(
             read_csv_chunks(
                 self.schema, source, chunk_size=chunk_size, null_marker=null_marker
-            )
+            ),
+            n_jobs=n_jobs,
         )
 
     def __repr__(self) -> str:

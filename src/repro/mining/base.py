@@ -15,12 +15,36 @@ it.
 
 The protocol is **batch-first**: the auditor's hot path hands each
 classifier whole encoded column arrays at once and receives a
-:class:`BatchPrediction` (distribution matrix + support vector) back.
-Built-in classifiers override :meth:`AttributeClassifier.predict_batch`
-with vectorized implementations; third-party classifiers that only
-implement the per-record :meth:`AttributeClassifier.predict_encoded`
-inherit a row-loop fallback, so the single-record contract remains
-sufficient.
+:class:`BatchPrediction` back. The batch contract, precisely:
+
+* **distribution matrix** — ``probabilities`` has shape
+  ``(n_rows, n_labels)`` where ``n_labels`` is the fitted dataset's
+  class-vocabulary size (:attr:`ClassEncoder.n_labels
+  <repro.mining.dataset.ClassEncoder.n_labels>`, which always includes
+  the null and unknown labels). Row ``r`` is the predicted class
+  distribution of record ``r``; each row sums to 1 (a proper
+  distribution), and label order is exactly
+  :attr:`ClassEncoder.labels <repro.mining.dataset.ClassEncoder>`.
+* **support semantics** — ``support[r]`` is the (possibly *weighted*)
+  number of training instances behind record ``r``'s prediction: a leaf
+  count for trees (fractional when C4.5's missing-value handling
+  distributed records over branches), the training-set size for naive
+  Bayes, ``k`` for kNN. It feeds Def. 7's error confidence, which
+  shrinks toward zero as support does — a prediction backed by few
+  instances can never yield a confident deviation.
+* **fallback behavior** — classifiers that only implement the
+  per-record :meth:`AttributeClassifier.predict_encoded` inherit
+  :meth:`AttributeClassifier.predict_batch` as a row loop over a
+  reusable :class:`ArrayRowView`; the built-in classifiers override it
+  with vectorized paths that must produce bit-identical distributions
+  and supports. Batch and row paths are therefore interchangeable in
+  semantics, never in speed.
+
+For the multi-core audit executor (:mod:`repro.core.parallel`),
+:meth:`AttributeClassifier.prediction_payload` names the object shipped
+to worker processes — by default the classifier itself (training state
+included, always sufficient), overridden by classifiers that can
+dispatch a leaner clone.
 """
 
 from __future__ import annotations
@@ -189,6 +213,20 @@ class AttributeClassifier(ABC):
             probabilities[row] = prediction.probabilities
             support[row] = prediction.n
         return BatchPrediction(probabilities, support, dataset.class_encoder.labels)
+
+    def prediction_payload(self) -> "AttributeClassifier":
+        """The object a parallel audit dispatches to worker processes.
+
+        Workers only ever call :meth:`predict_batch` /
+        :meth:`predict_encoded`, so a classifier whose predictions never
+        consult the training columns may return a clone holding a
+        column-less :meth:`Dataset.prediction_view
+        <repro.mining.dataset.Dataset.prediction_view>` (the tree does).
+        This base implementation returns ``self`` — the full fitted
+        state, which is always sufficient and required by instance-based
+        classifiers such as kNN. The returned object must be picklable.
+        """
+        return self
 
     def _require_fitted(self) -> Dataset:
         if self.dataset is None:

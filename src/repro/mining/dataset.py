@@ -265,6 +265,29 @@ class Dataset:
             for name in self.base_attrs
         }
 
+    def prediction_view(self) -> "Dataset":
+        """A column-less view of this dataset sharing its encoders.
+
+        The parallel audit executor ships fitted classifiers to worker
+        processes (:mod:`repro.core.parallel`); classifiers whose
+        predictions never consult the training columns (the decision
+        tree) swap their dataset for this view so the worker payload
+        carries the encoders and class vocabulary — a few kilobytes —
+        instead of the encoded training matrix.
+
+        Encoders and the class encoder are shared, not copied: both are
+        immutable after fitting.
+        """
+        instance = Dataset.__new__(Dataset)
+        instance.class_attr = self.class_attr
+        instance.base_attrs = self.base_attrs
+        instance.encoders = self.encoders
+        instance.columns = {}
+        instance.class_encoder = self.class_encoder
+        instance.y = np.empty(0, dtype=np.int64)
+        instance.n_rows = 0
+        return instance
+
     @classmethod
     def for_prediction(
         cls,

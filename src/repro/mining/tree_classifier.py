@@ -56,6 +56,18 @@ class TreeClassifier(AttributeClassifier):
         probabilities, support = predict_distribution_batch(self.root, columns, length)
         return BatchPrediction(probabilities, support, dataset.class_encoder.labels)
 
+    def prediction_payload(self) -> "TreeClassifier":
+        """A lean clone for parallel-audit worker dispatch: tree prediction
+        never reads the training columns, so the clone carries a
+        column-less :meth:`Dataset.prediction_view
+        <repro.mining.dataset.Dataset.prediction_view>` instead of the
+        encoded training matrix."""
+        dataset = self._require_fitted()
+        clone = TreeClassifier(self.config)
+        clone.dataset = dataset.prediction_view()
+        clone.root = self.root
+        return clone
+
     def rules(self, *, drop_useless: bool = True) -> list[TreeRule]:
         """The tree as a rule set (sec. 5.4), by default without rules
         that cannot contribute to an error detection."""

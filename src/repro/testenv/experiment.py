@@ -48,6 +48,10 @@ class ExperimentConfig:
     #: optional rule-shape override (e.g. conjunctive premises for the
     #: classifier-selection experiment)
     rule_config: Optional[RuleGenerationConfig] = None
+    #: worker processes for the audit phase (1 = serial, -1 = all cores);
+    #: results are bit-identical across job counts, so sweeps may choose
+    #: whatever the machine affords
+    n_jobs: int = 1
 
     def describe(self) -> str:
         return (
@@ -141,7 +145,7 @@ class TestEnvironment:
         fit_seconds = time.perf_counter() - started
 
         started = time.perf_counter()
-        report = session.audit(dirty)
+        report = session.audit(dirty, n_jobs=config.n_jobs)
         audit_seconds = time.perf_counter() - started
 
         evaluation = evaluate_audit(report, log, clean, dirty)

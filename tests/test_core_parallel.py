@@ -1,0 +1,324 @@
+"""Parity suite for the multi-core audit executor.
+
+The executor's contract (see :mod:`repro.core.parallel`) is that
+parallelism is *invisible* in the output: a ``n_jobs=2`` audit must be
+bit-exact with the serial one — same findings (field for field, float
+for float), same record confidences, same ranking — on both fan-out
+axes (per column for whole tables, per chunk for streams), and the
+merged streaming report must not depend on the order chunks were
+audited in. Fixtures mirror the E9 (base-profile pollution) and E12
+(QUIS sample) benchmark workloads at test scale.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core import (
+    AuditorConfig,
+    AuditReport,
+    AuditSession,
+    DataAuditor,
+    ModelPersistenceError,
+    resolve_n_jobs,
+)
+from repro.core.parallel import audit_chunks_parallel, dispatch_payload
+from repro.generator.profiles import base_profile
+from repro.pollution.pipeline import PollutionPipeline, default_polluters
+from repro.quis import generate_quis_sample
+from repro.schema import Schema, nominal
+
+
+def _assert_bit_exact(a: AuditReport, b: AuditReport):
+    assert a.n_rows == b.n_rows
+    assert a.min_error_confidence == b.min_error_confidence
+    # exact float equality, not approx — the executors share one code path
+    assert a.record_confidence == b.record_confidence
+    assert a.findings == b.findings
+    assert a.suspicious_rows() == b.suspicious_rows()
+
+
+def _chunked(table, sizes):
+    start = 0
+    for size in sizes:
+        yield table.select(range(start, min(start + size, table.n_rows)))
+        start += size
+    if start < table.n_rows:
+        yield table.select(range(start, table.n_rows))
+
+
+@pytest.fixture(scope="module")
+def e9_audit():
+    """E9-style workload: base-profile data, polluted, self-audited."""
+    profile = base_profile(n_rules=25, seed=42)
+    clean = profile.build_generator().generate(700, random.Random(1))
+    dirty, _ = PollutionPipeline(default_polluters()).apply(clean, random.Random(2))
+    auditor = DataAuditor(
+        profile.schema, AuditorConfig(min_error_confidence=0.8)
+    ).fit(dirty)
+    return auditor, dirty
+
+
+@pytest.fixture(scope="module")
+def e12_audit():
+    """E12-style workload: the QUIS sample at test scale."""
+    sample = generate_quis_sample(1_000, seed=7)
+    auditor = DataAuditor(
+        sample.schema, AuditorConfig(min_error_confidence=0.8)
+    ).fit(sample.dirty)
+    return auditor, sample.dirty
+
+
+class TestResolveNJobs:
+    def test_none_and_one_are_serial(self):
+        assert resolve_n_jobs(None) == 1
+        assert resolve_n_jobs(1) == 1
+
+    def test_positive_passes_through(self):
+        assert resolve_n_jobs(4) == 4
+
+    def test_negative_is_cpu_relative(self):
+        import os
+
+        cores = os.cpu_count() or 1
+        assert resolve_n_jobs(-1) == cores
+        assert resolve_n_jobs(-cores) == 1
+        assert resolve_n_jobs(-cores - 10) == 1  # clamped, never 0
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_n_jobs(0)
+
+    def test_config_rejects_zero_jobs(self):
+        with pytest.raises(ValueError):
+            AuditorConfig(n_jobs=0)
+
+
+class TestWholeTableParity:
+    @pytest.mark.parametrize("fixture", ["e9_audit", "e12_audit"])
+    def test_serial_vs_two_jobs_bit_exact(self, fixture, request):
+        auditor, table = request.getfixturevalue(fixture)
+        _assert_bit_exact(
+            auditor.audit(table, n_jobs=1), auditor.audit(table, n_jobs=2)
+        )
+
+    def test_config_default_jobs_used(self, e9_audit):
+        auditor, table = e9_audit
+        serial = auditor.audit(table)
+        auditor.config.n_jobs = 2
+        try:
+            _assert_bit_exact(serial, auditor.audit(table))
+        finally:
+            auditor.config.n_jobs = 1
+
+    def test_parallel_report_carries_schema(self, e9_audit):
+        auditor, table = e9_audit
+        assert auditor.audit(table, n_jobs=2).schema == table.schema
+
+
+class TestChunkStreamParity:
+    @pytest.mark.parametrize("sizes", [(250, 250, 250), (1, 349, 400)])
+    def test_parallel_chunk_merge_equals_whole_table(self, e9_audit, sizes):
+        auditor, table = e9_audit
+        session = AuditSession(auditor=auditor)
+        whole = session.audit(table)
+        merged = AuditReport.merge(
+            list(session.audit_chunks(_chunked(table, sizes), n_jobs=2))
+        )
+        _assert_bit_exact(merged, whole)
+
+    def test_reports_arrive_in_stream_order(self, e9_audit):
+        auditor, table = e9_audit
+        reports = list(
+            AuditSession(auditor=auditor).audit_chunks(
+                _chunked(table, (100,) * 7), n_jobs=2
+            )
+        )
+        assert [r.row_offset for r in reports] == [
+            100 * i for i in range(len(reports))
+        ]
+
+    def test_chunk_order_independence(self, e9_audit):
+        """Chunks audited in any order fold to the same merged report:
+        auditing the chunk list reversed, then restoring stream order by
+        row offset, reproduces the whole-table audit bit for bit."""
+        auditor, table = e9_audit
+        session = AuditSession(auditor=auditor)
+        whole = session.audit(table)
+        chunks = list(_chunked(table, (200, 200, 200, 100)))
+        offsets = []
+        start = 0
+        for chunk in chunks:
+            offsets.append(start)
+            start += chunk.n_rows
+        shuffled = [
+            session.audit(chunk, n_jobs=1).with_row_offset(offset)
+            for offset, chunk in reversed(list(zip(offsets, chunks)))
+        ]
+        merged = AuditReport.merge(
+            sorted(shuffled, key=lambda r: r.row_offset)
+        )
+        _assert_bit_exact(merged, whole)
+
+    def test_bounded_window(self, e9_audit):
+        auditor, table = e9_audit
+        reports = list(
+            audit_chunks_parallel(
+                auditor, _chunked(table, (100,) * 7), 2, max_pending=1
+            )
+        )
+        merged = AuditReport.merge(reports)
+        _assert_bit_exact(merged, auditor.audit(table))
+
+    def test_empty_stream(self, e9_audit):
+        auditor, _ = e9_audit
+        assert list(AuditSession(auditor=auditor).audit_chunks([], n_jobs=2)) == []
+
+
+class TestDispatchPayload:
+    def test_payload_drops_training_columns_and_factory(self, e9_audit):
+        auditor, table = e9_audit
+        auditor.config.classifier_factory = lambda cfg: None  # not picklable
+        try:
+            payload = dispatch_payload(auditor)
+        finally:
+            auditor.config.classifier_factory = None
+        assert payload.config.classifier_factory is None
+        for classifier in payload.classifiers.values():
+            assert classifier.dataset.columns == {}
+        # the payload still audits identically
+        _assert_bit_exact(payload.audit(table, n_jobs=1), auditor.audit(table))
+
+    def test_payload_is_picklable(self, e9_audit):
+        import pickle
+
+        auditor, table = e9_audit
+        clone = pickle.loads(pickle.dumps(dispatch_payload(auditor)))
+        _assert_bit_exact(clone.audit(table, n_jobs=1), auditor.audit(table))
+
+
+class TestMergeSchemaGuard:
+    def test_mismatched_schemas_rejected(self, e9_audit):
+        auditor, table = e9_audit
+        report = auditor.audit(table)
+        alien = AuditReport(
+            2,
+            [],
+            [0.0, 0.0],
+            report.min_error_confidence,
+            row_offset=report.n_rows,
+            schema=Schema([nominal("Z", ["1"])]),
+        )
+        with pytest.raises(ValueError, match="different schemas"):
+            AuditReport.merge([report, alien])
+
+    def test_schemaless_reports_still_merge(self):
+        a = AuditReport(1, [], [0.0], 0.8)
+        b = AuditReport(1, [], [0.0], 0.8, row_offset=1)
+        assert AuditReport.merge([a, b]).n_rows == 2
+
+
+class TestParallelModelPersistence:
+    def test_n_jobs_config_round_trips(self, e9_audit, tmp_path):
+        auditor, table = e9_audit
+        auditor.config.n_jobs = 4
+        path = tmp_path / "model.json"
+        try:
+            AuditSession(auditor=auditor).save(path)
+        finally:
+            auditor.config.n_jobs = 1
+        resumed = AuditSession.load(path)
+        assert resumed.config.n_jobs == 4
+        # the persisted default applies, and still matches serial output
+        _assert_bit_exact(resumed.audit(table), auditor.audit(table))
+
+    def test_pre_parallel_models_default_to_serial(self, e9_audit, tmp_path):
+        auditor, _ = e9_audit
+        path = tmp_path / "model.json"
+        AuditSession(auditor=auditor).save(path)
+        payload = json.loads(path.read_text())
+        del payload["config"]["n_jobs"]  # a model written before this PR
+        path.write_text(json.dumps(payload))
+        assert AuditSession.load(path).config.n_jobs == 1
+
+    def test_missing_file_one_line_error(self, tmp_path):
+        with pytest.raises(ModelPersistenceError) as info:
+            AuditSession.load(tmp_path / "nope.json")
+        assert "\n" not in str(info.value)
+        assert "cannot read model file" in str(info.value)
+
+    def test_corrupt_file_one_line_error(self, tmp_path):
+        path = tmp_path / "model.json"
+        path.write_text("{ not json")
+        with pytest.raises(ModelPersistenceError) as info:
+            AuditSession.load(path)
+        assert "\n" not in str(info.value)
+        assert "not a valid auditor model" in str(info.value)
+
+    def test_corrupt_parallel_config_one_line_error(self, e9_audit, tmp_path):
+        auditor, _ = e9_audit
+        path = tmp_path / "model.json"
+        AuditSession(auditor=auditor).save(path)
+        payload = json.loads(path.read_text())
+        payload["config"]["n_jobs"] = 0  # invalid parallel-mode config
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ModelPersistenceError) as info:
+            AuditSession.load(path)
+        assert "\n" not in str(info.value)
+
+    def test_unfitted_save_one_line_error(self, e9_audit, tmp_path):
+        auditor, _ = e9_audit
+        fresh = AuditSession(auditor.schema)
+        with pytest.raises(ModelPersistenceError) as info:
+            fresh.save(tmp_path / "model.json")
+        assert "unfitted" in str(info.value)
+
+    def test_unwritable_path_one_line_error(self, e9_audit, tmp_path):
+        auditor, _ = e9_audit
+        with pytest.raises(ModelPersistenceError) as info:
+            AuditSession(auditor=auditor).save(tmp_path / "no" / "dir" / "m.json")
+        assert "cannot write model file" in str(info.value)
+
+
+class TestCliJobs:
+    def test_audit_jobs_byte_identical(self, e9_audit, tmp_path):
+        """`repro audit --jobs 2` must write the same findings file, byte
+        for byte, as `--jobs 1` — whole-table and chunked alike."""
+        from repro.cli import main
+        from repro.schema import write_csv
+
+        auditor, table = e9_audit
+        model = tmp_path / "model.json"
+        data = tmp_path / "data.csv"
+        AuditSession(auditor=auditor).save(model)
+        write_csv(table, data)
+
+        outputs = {}
+        for label, extra in {
+            "serial": ["--jobs", "1"],
+            "parallel": ["--jobs", "2"],
+            "chunked-parallel": ["--jobs", "2", "--chunk-size", "250"],
+        }.items():
+            out = tmp_path / f"{label}.csv"
+            code = main(
+                ["audit", "--model", str(model), "--input", str(data),
+                 "--findings-out", str(out), *extra]
+            )
+            assert code == 0
+            outputs[label] = out.read_bytes()
+        assert outputs["serial"] == outputs["parallel"]
+        assert outputs["serial"] == outputs["chunked-parallel"]
+
+    def test_audit_jobs_zero_rejected(self, e9_audit, tmp_path):
+        from repro.cli import main
+        from repro.schema import write_csv
+
+        auditor, table = e9_audit
+        model = tmp_path / "model.json"
+        data = tmp_path / "data.csv"
+        AuditSession(auditor=auditor).save(model)
+        write_csv(table, data)
+        with pytest.raises(SystemExit, match="--jobs"):
+            main(["audit", "--model", str(model), "--input", str(data),
+                  "--jobs", "0"])

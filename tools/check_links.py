@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation (used by CI).
+
+Checks every inline markdown link (``[text](target)``) in the given
+files:
+
+* relative links must resolve to an existing file or directory
+  (anchors are stripped; pure-anchor links are checked against the
+  current file's headings);
+* ``http(s)``/``mailto`` links are *not* fetched — offline CI must not
+  flake on the network — but are counted so the summary shows what was
+  skipped.
+
+Exit code 0 when every link resolves, 1 otherwise (each broken link is
+reported on its own line as ``file:line: message``).
+
+Usage::
+
+    python tools/check_links.py README.md ROADMAP.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: inline markdown links; images share the syntax bar a leading ``!``
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+_CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def _anchor_of(heading: str) -> str:
+    """GitHub's heading→anchor slug (lowercase, spaces→dashes, drop
+    everything that is not a word character or dash)."""
+    slug = heading.strip().lower().replace(" ", "-")
+    return re.sub(r"[^\w\-]", "", slug)
+
+
+def _anchors(path: Path) -> set[str]:
+    anchors: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if match:
+            anchors.add(_anchor_of(match.group(1)))
+    return anchors
+
+
+def check_file(path: Path) -> tuple[list[str], int, int]:
+    """Returns (errors, n_checked, n_skipped_external) for one file."""
+    errors: list[str] = []
+    checked = skipped = 0
+    in_fence = False
+    for line_no, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                skipped += 1
+                continue
+            checked += 1
+            if target.startswith("#"):
+                if _anchor_of(target[1:]) not in _anchors(path):
+                    errors.append(
+                        f"{path}:{line_no}: broken anchor {target!r}"
+                    )
+                continue
+            relative, _, anchor = target.partition("#")
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{path}:{line_no}: broken link {target!r} "
+                    f"(resolved to {resolved})"
+                )
+            elif anchor and resolved.suffix == ".md":
+                if _anchor_of(anchor) not in _anchors(resolved):
+                    errors.append(
+                        f"{path}:{line_no}: broken anchor "
+                        f"{target!r} (no such heading in {relative})"
+                    )
+    return errors, checked, skipped
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    all_errors: list[str] = []
+    total_checked = total_skipped = 0
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            all_errors.append(f"{path}: file not found")
+            continue
+        errors, checked, skipped = check_file(path)
+        all_errors.extend(errors)
+        total_checked += checked
+        total_skipped += skipped
+    for error in all_errors:
+        print(error)
+    print(
+        f"checked {total_checked} relative links in {len(argv)} files "
+        f"({total_skipped} external links skipped): "
+        f"{'OK' if not all_errors else f'{len(all_errors)} broken'}"
+    )
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

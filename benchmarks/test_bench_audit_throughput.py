@@ -1,4 +1,5 @@
-"""E13 — audit-phase throughput: batch protocol × parallel executor.
+"""E13 — audit-phase throughput: batch protocol × parallel executor,
+plus storage-backend ingest rates.
 
 The deviation-detection phase is the online half of sec. 2.2's
 warehouse-loading split ("new data can be checked for deviations and
@@ -14,6 +15,12 @@ load latency. This bench measures, on one fitted QUIS model at 80k rows:
   and recording the wall-clock win in
   ``benchmarks/results/E13_audit_throughput.txt``.
 
+A second experiment compares the **storage backends** feeding that hot
+path: write + chunked-read rows/s and on-disk size for CSV vs JSONL vs
+SQLite (and Parquet when ``pyarrow`` is present), with the read-back
+tables asserted identical across backends
+(``benchmarks/results/E13_ingest_comparison.txt``).
+
 Speedup assertions are gated on the cores the machine actually has:
 parallel wall-clock gains are physically impossible on a single-core
 box, and the bit-exactness guarantee is the part that must hold
@@ -24,6 +31,7 @@ import os
 import time
 
 from repro.core import AuditorConfig, AuditReport, AuditSession, DataAuditor
+from repro.io import open_source, write_table
 from repro.mining.base import AttributeClassifier
 from repro.quis import generate_quis_sample
 
@@ -155,4 +163,84 @@ def test_batch_audit_throughput(benchmark, record_table):
         assert best_serial / best_parallel >= required, (
             f"4-job audit only {best_serial / best_parallel:.2f}× faster "
             f"than serial on a {cores}-core machine (required {required}×)"
+        )
+
+
+#: rows for the backend ingest comparison (write + chunked read per format)
+INGEST_RECORDS = 40_000
+INGEST_CHUNK = 10_000
+
+
+def test_backend_ingest_throughput(tmp_path, record_table):
+    """Storage-backend ingest comparison: rows/s into and out of each
+    registered backend, with cross-backend equality asserted."""
+    sample = generate_quis_sample(INGEST_RECORDS, seed=2003)
+    table = sample.dirty
+    schema = sample.schema
+
+    formats = [("csv", "load.csv"), ("jsonl", "load.jsonl"), ("sqlite", "load.db")]
+    try:
+        import pyarrow  # noqa: F401
+
+        formats.append(("parquet", "load.parquet"))
+    except ImportError:
+        pass
+
+    results = {}
+    baseline_rows = None
+    for fmt, name in formats:
+        path = tmp_path / name
+        started = time.perf_counter()
+        write_table(table, path)
+        write_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        with open_source(schema, path) as source:
+            rows = [row for chunk in source.chunks(INGEST_CHUNK) for row in chunk.rows]
+        read_seconds = time.perf_counter() - started
+
+        assert len(rows) == table.n_rows
+        if fmt == "parquet":
+            # documented float64 mapping: non-integer numerics come back
+            # as floats, so exact equality is only checked numerically
+            assert all(
+                a == b
+                or (a is not None and b is not None and float(a) == float(b))
+                for row_a, row_b in zip(table.rows, rows)
+                for a, b in zip(row_a, row_b)
+            )
+        elif baseline_rows is None:
+            assert rows == table.rows
+            baseline_rows = rows
+        else:
+            # every backend hands the auditor the identical row stream
+            assert rows == baseline_rows
+        results[fmt] = (write_seconds, read_seconds, path.stat().st_size)
+
+    lines = [
+        "E13b — storage-backend ingest comparison (repro.io)",
+        f"workload: QUIS sample, {INGEST_RECORDS} records × {len(schema)} "
+        f"attributes; chunked reads at {INGEST_CHUNK} rows/chunk",
+        "read-back row streams asserted identical across backends",
+        "",
+        f"{'backend':>8}  {'write[s]':>9}  {'rows/s':>9}  {'read[s]':>9}  "
+        f"{'rows/s':>9}  {'size[MiB]':>10}",
+    ]
+    for fmt, (write_seconds, read_seconds, size) in results.items():
+        lines.append(
+            f"{fmt:>8}  {write_seconds:>9.2f}  "
+            f"{INGEST_RECORDS / write_seconds:>9.0f}  {read_seconds:>9.2f}  "
+            f"{INGEST_RECORDS / read_seconds:>9.0f}  {size / 2**20:>10.2f}"
+        )
+    if "parquet" not in results:
+        lines.append(
+            "\nnote: pyarrow not installed — parquet column omitted "
+            "(the backend degrades to a clean ImportError)."
+        )
+    record_table("E13_ingest_comparison", "\n".join(lines))
+
+    # regression floor: every backend must ingest at a usable rate
+    for fmt, (_, read_seconds, _) in results.items():
+        assert INGEST_RECORDS / read_seconds > 5_000, (
+            f"{fmt} chunked read only {INGEST_RECORDS / read_seconds:.0f} rows/s"
         )

@@ -15,7 +15,12 @@ This script plays both roles, through the streaming
   load/quarantine decision, and the merged report equals the audit of the
   whole load.
 
-The online check takes an ``n_jobs=`` knob (the multi-core executor of
+The load is checked **where it lives**: the arriving batch lands in a
+SQLite staging table and the online job audits that table directly
+through the pluggable storage layer
+(:meth:`AuditSession.audit_source <repro.core.session.AuditSession.audit_source>`
+over ``sqlite:///…?table=…``) — no CSV export step. The online check
+takes an ``n_jobs=`` knob (the multi-core executor of
 :mod:`repro.core.parallel`): on a multi-core load box, chunks are
 audited concurrently with bit-identical results. This script uses all
 available cores when there are several and stays serial on one.
@@ -29,7 +34,7 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro import AuditorConfig, AuditReport, AuditSession
+from repro import AuditorConfig, AuditReport, AuditSession, write_table
 from repro.quis import generate_clean_quis, generate_quis_sample
 
 
@@ -47,7 +52,7 @@ def offline_structure_induction(model_path: Path) -> None:
           f"({model_path.stat().st_size / 1024:.0f} KiB)")
 
 
-def online_load_check(model_path: Path) -> None:
+def online_load_check(model_path: Path, warehouse_path: Path) -> None:
     """Load-time job: screen an arriving load against the persisted model."""
     print("\n=== online: streaming deviation check of an incoming load ===")
     session = AuditSession.load(model_path)
@@ -60,16 +65,16 @@ def online_load_check(model_path: Path) -> None:
     batch.set_cell(303, "HUBRAUM", 15900)  # displacement out of band
     batch.set_cell(1500, "WERK", None)   # lost plant code
 
-    # the load arrives in chunks; each chunk is screened on arrival
-    chunk_size = 500
-    chunks = (
-        batch.select(range(start, min(start + chunk_size, batch.n_rows)))
-        for start in range(0, batch.n_rows, chunk_size)
-    )
+    # the load lands in the warehouse's staging table and is screened
+    # right there — the auditor reads the database, not an export
+    staging = f"sqlite:///{warehouse_path}?table=incoming_load"
+    write_table(batch, staging)
+    print(f"  load staged in {staging}")
+
     n_jobs = os.cpu_count() or 1  # parallel chunk screening where possible
     started = time.perf_counter()
     reports = []
-    for report in session.audit_chunks(chunks, n_jobs=n_jobs):
+    for report in session.audit_source(staging, chunk_size=500, n_jobs=n_jobs):
         reports.append(report)
         print(f"  chunk {len(reports)}: {report.n_rows} records screened, "
               f"{report.n_suspicious} quarantined")
@@ -96,8 +101,9 @@ def online_load_check(model_path: Path) -> None:
 def main() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         model_path = Path(tmp) / "quis_structure_model.json"
+        warehouse_path = Path(tmp) / "warehouse.db"
         offline_structure_induction(model_path)
-        online_load_check(model_path)
+        online_load_check(model_path, warehouse_path)
 
 
 if __name__ == "__main__":

@@ -4,6 +4,10 @@ Data Quality Tools* (Luebbers, Grimmer, Jarke; VLDB 2003).
 The package mirrors the paper's architecture:
 
 * :mod:`repro.schema` — relational substrate (domains, schemas, tables);
+* :mod:`repro.io` — pluggable table storage: ``TableSource`` /
+  ``TableSink`` protocols and a format registry with CSV, JSONL, SQLite
+  and (optional) Parquet backends, so the auditor speaks the
+  warehouse's own formats (sec. 2.2) instead of forcing CSV exports;
 * :mod:`repro.logic` — the TDG formula/rule language with its pragmatic
   satisfiability test and naturalness restrictions (sec. 4.1);
 * :mod:`repro.generator` — the rule-pattern-based artificial test data
@@ -39,7 +43,8 @@ Warehouse-scale streaming audit (sec. 2.2)::
     session.save("model.json")
 
     session = AuditSession.load("model.json")        # online, fast
-    for report in session.audit_csv_stream("load.csv", chunk_size=10_000):
+    for report in session.audit_source("sqlite:///wh.db?table=loads",
+                                       chunk_size=10_000):
         quarantine(report.suspicious_rows())
 """
 
@@ -62,6 +67,7 @@ from repro.core import (
     resolve_n_jobs,
     save_auditor,
 )
+from repro.core.findings import findings_schema, findings_to_table
 from repro.generator import (
     BayesianNetwork,
     GeneratorProfile,
@@ -96,6 +102,18 @@ from repro.pollution import (
     WrongValuePolluter,
     default_polluters,
 )
+from repro.io import (
+    TableSink,
+    TableSource,
+    available_formats,
+    detect_format,
+    open_sink,
+    open_source,
+    read_table,
+    read_table_chunks,
+    register_format,
+    write_table,
+)
 from repro.quis import generate_quis_sample, quis_schema
 from repro.schema import (
     Attribute,
@@ -105,11 +123,13 @@ from repro.schema import (
     NumericDomain,
     Schema,
     Table,
+    TextDomain,
     date,
     nominal,
     numeric,
     read_csv,
     read_csv_chunks,
+    text,
     write_csv,
 )
 from repro.testenv import (
@@ -136,14 +156,27 @@ __all__ = [
     "NominalDomain",
     "NumericDomain",
     "DateDomain",
+    "TextDomain",
     "Schema",
     "Table",
     "nominal",
     "numeric",
     "date",
+    "text",
     "read_csv",
     "read_csv_chunks",
     "write_csv",
+    # storage backends (repro.io)
+    "TableSource",
+    "TableSink",
+    "register_format",
+    "available_formats",
+    "detect_format",
+    "open_source",
+    "open_sink",
+    "read_table",
+    "read_table_chunks",
+    "write_table",
     # logic
     "Rule",
     "is_satisfiable",
@@ -189,6 +222,8 @@ __all__ = [
     "resolve_n_jobs",
     "Finding",
     "Correction",
+    "findings_schema",
+    "findings_to_table",
     "error_confidence",
     "error_confidence_batch",
     "expected_error_confidence",

@@ -1,43 +1,50 @@
 """Command-line interface: the paper's pipeline as shell commands.
 
 The stages of the fig.-2 test environment and the fig.-1 workflow map to
-subcommands over portable artifacts (CSV tables, JSON schemas / models /
-logs):
+subcommands over portable artifacts (tables in any registered storage
+format, JSON schemas / models / logs):
 
 =============  ================================================================
 ``schema``     write a schema JSON (the base-profile schema or the QUIS one)
-``generate``   artificial rule-compliant data (sec. 4.1) → CSV (+ schema)
-``pollute``    controlled corruption (sec. 4.2) → dirty CSV + ground-truth log
+``generate``   artificial rule-compliant data (sec. 4.1) → table (+ schema)
+``pollute``    controlled corruption (sec. 4.2) → dirty table + ground-truth log
 ``fit``        structure induction (sec. 5) → persisted model JSON
-``audit``      deviation detection → ranked findings (CSV or stdout)
+``audit``      deviation detection → ranked findings (any format or stdout)
 ``evaluate``   sec. 4.3 metrics of a model against a logged corruption
 =============  ================================================================
 
-Example session::
+Every table argument (``--input``, ``--output``, ``--out``, ``--clean``,
+``--dirty``, ``--findings-out``) accepts any format the registry
+(:mod:`repro.io`) knows: the format is inferred from the extension
+(``.csv``, ``.jsonl``/``.ndjson``, ``.db``/``.sqlite``/``.sqlite3``,
+``.parquet``/``.pq``) or a ``sqlite:///db?table=t`` URI, defaults to CSV
+for unrecognized names, and can be forced with ``--input-format`` /
+``--output-format``. Example session::
 
     repro generate --records 5000 --rules 80 --out clean.csv --schema-out schema.json
     repro pollute  --schema schema.json --input clean.csv \
-                   --output dirty.csv --log-out truth.json
-    repro fit      --schema schema.json --input dirty.csv --model-out model.json
-    repro audit    --model model.json --input dirty.csv --top 10
-    repro evaluate --schema schema.json --clean clean.csv --dirty dirty.csv \
+                   --output warehouse.db --log-out truth.json
+    repro fit      --schema schema.json --input warehouse.db --model-out model.json
+    repro audit    --model model.json --input warehouse.db --top 10
+    repro evaluate --schema schema.json --clean clean.csv --dirty warehouse.db \
                    --log truth.json --model model.json
 
-``repro audit --chunk-size N`` streams the input CSV through an
-:class:`~repro.core.session.AuditSession` in N-row chunks (sec. 2.2's
+``repro audit --chunk-size N`` streams the input (any backend) through
+an :class:`~repro.core.session.AuditSession` in N-row chunks (sec. 2.2's
 online load check: memory stays bounded by the chunk size plus the
 findings retained for ranking, not by the load's row count);
 ``--format jsonl`` emits machine-readable findings; ``--jobs N`` runs
 the deviation check on N worker processes (per column for whole-table
 audits, per chunk when combined with ``--chunk-size``) with bit-identical
-output. See ``docs/architecture.md`` for the execution model and the
-README for a full flag reference.
+output — including across storage backends: auditing a SQLite table is
+bit-identical to auditing the equivalent CSV export. See
+``docs/architecture.md`` for the execution model and the README for a
+full flag reference.
 """
 
 from __future__ import annotations
 
 import argparse
-import csv
 import json
 import random
 import sys
@@ -46,18 +53,66 @@ from typing import Optional, Sequence
 
 from repro import __version__
 from repro.core.auditor import AuditorConfig, DataAuditor
-from repro.core.findings import Finding
+from repro.core.findings import Finding, findings_to_table
 from repro.core.serialize import save_auditor
 from repro.core.session import AuditSession, ModelPersistenceError
 from repro.generator.profiles import base_profile, base_schema
+from repro.io.jsonl_backend import JsonlTableSink
+from repro.io.registry import (
+    available_formats,
+    detect_format,
+    open_sink,
+    open_source,
+)
 from repro.pollution.log import PollutionLog
 from repro.pollution.pipeline import PollutionPipeline, default_polluters
 from repro.quis.simulator import quis_schema
-from repro.schema.io import read_csv, write_csv
 from repro.schema.serialize import schema_from_dict, schema_to_dict
+from repro.schema.table import Table
 from repro.testenv.metrics import evaluate_audit
 
 __all__ = ["main", "build_parser"]
+
+_FORMAT_NAMES = tuple(spec.name for spec in available_formats())
+#: findings formats that can be written to stdout (text streams)
+_STDOUT_FORMATS = ("jsonl",)
+
+
+def _resolve_format(location: str, override: Optional[str]) -> str:
+    """The registry format for a CLI table argument.
+
+    Explicit ``--*-format`` wins; otherwise the extension/URI decides;
+    unrecognized names keep the historical CSV behavior.
+    """
+    if override:
+        return override
+    try:
+        return detect_format(location)
+    except ValueError:
+        return "csv"
+
+
+def _table_options(fmt: str, null_marker: Optional[str]) -> dict:
+    """Per-format open options (the null marker only means something to CSV)."""
+    if fmt == "csv" and null_marker is not None:
+        return {"null_marker": null_marker}
+    return {}
+
+
+def _open_input(schema, location: str, override: Optional[str], null_marker: Optional[str] = None):
+    fmt = _resolve_format(location, override)
+    return open_source(schema, location, format=fmt, **_table_options(fmt, null_marker))
+
+
+def _read_input(schema, location: str, override: Optional[str], null_marker: Optional[str] = None) -> Table:
+    with _open_input(schema, location, override, null_marker) as source:
+        return source.read()
+
+
+def _write_output(table: Table, location: str, override: Optional[str], null_marker: Optional[str] = None) -> None:
+    fmt = _resolve_format(location, override)
+    with open_sink(table.schema, location, format=fmt, **_table_options(fmt, null_marker)) as sink:
+        sink.write(table)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,7 +136,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_generate.add_argument("--rules", type=int, default=100)
     p_generate.add_argument("--seed", type=int, default=42)
     p_generate.add_argument("--data-seed", type=int, default=1)
-    p_generate.add_argument("--out", required=True, type=Path)
+    p_generate.add_argument(
+        "--out",
+        required=True,
+        help="output table (any registered format, inferred from the extension)",
+    )
+    p_generate.add_argument(
+        "--output-format",
+        choices=_FORMAT_NAMES,
+        help="force the output format instead of inferring it from --out",
+    )
     p_generate.add_argument("--schema-out", type=Path)
     p_generate.add_argument(
         "--schema",
@@ -98,22 +162,56 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_pollute = sub.add_parser("pollute", help="apply controlled corruption")
     p_pollute.add_argument("--schema", required=True, type=Path)
-    p_pollute.add_argument("--input", required=True, type=Path)
-    p_pollute.add_argument("--output", required=True, type=Path)
+    p_pollute.add_argument("--input", required=True, help="clean table (any format)")
+    p_pollute.add_argument("--output", required=True, help="dirty table (any format)")
+    p_pollute.add_argument(
+        "--input-format", choices=_FORMAT_NAMES, help="force the input format"
+    )
+    p_pollute.add_argument(
+        "--output-format", choices=_FORMAT_NAMES, help="force the output format"
+    )
+    p_pollute.add_argument(
+        "--null-marker",
+        default="",
+        help="CSV text standing for null on both ends (default: empty field)",
+    )
     p_pollute.add_argument("--log-out", type=Path)
     p_pollute.add_argument("--factor", type=float, default=1.0)
     p_pollute.add_argument("--seed", type=int, default=2)
 
     p_fit = sub.add_parser("fit", help="induce and persist the structure model")
     p_fit.add_argument("--schema", required=True, type=Path)
-    p_fit.add_argument("--input", required=True, type=Path)
+    p_fit.add_argument("--input", required=True, help="training table (any format)")
+    p_fit.add_argument(
+        "--input-format", choices=_FORMAT_NAMES, help="force the input format"
+    )
+    p_fit.add_argument(
+        "--null-marker",
+        default="",
+        help="CSV text standing for null (default: empty field)",
+    )
     p_fit.add_argument("--model-out", required=True, type=Path)
     p_fit.add_argument("--min-confidence", type=float, default=0.8)
 
     p_audit = sub.add_parser("audit", help="detect deviations with a fitted model")
     p_audit.add_argument("--model", required=True, type=Path)
-    p_audit.add_argument("--input", required=True, type=Path)
-    p_audit.add_argument("--findings-out", type=Path)
+    p_audit.add_argument(
+        "--input",
+        required=True,
+        help="table to audit (any registered format, e.g. load.csv, "
+        "events.jsonl, warehouse.db, sqlite:///wh.db?table=loads)",
+    )
+    p_audit.add_argument(
+        "--input-format", choices=_FORMAT_NAMES, help="force the input format"
+    )
+    p_audit.add_argument(
+        "--null-marker",
+        default="",
+        help="CSV text standing for null (default: empty field)",
+    )
+    p_audit.add_argument(
+        "--findings-out", help="write all findings to this table (any format)"
+    )
     p_audit.add_argument("--top", type=int, default=10)
     p_audit.add_argument(
         "--chunk-size",
@@ -122,10 +220,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_audit.add_argument(
         "--format",
-        choices=("csv", "jsonl"),
-        default="csv",
-        help="findings output format; jsonl without --findings-out "
-        "writes one JSON object per finding to stdout",
+        choices=_FORMAT_NAMES,
+        help="findings output format (default: inferred from --findings-out, "
+        "csv if unrecognized); jsonl without --findings-out writes one "
+        "JSON object per finding to stdout",
     )
     p_audit.add_argument(
         "--jobs",
@@ -139,8 +237,13 @@ def build_parser() -> argparse.ArgumentParser:
         "evaluate", help="sec. 4.3 metrics against a pollution log"
     )
     p_evaluate.add_argument("--schema", required=True, type=Path)
-    p_evaluate.add_argument("--clean", required=True, type=Path)
-    p_evaluate.add_argument("--dirty", required=True, type=Path)
+    p_evaluate.add_argument("--clean", required=True, help="pre-pollution table")
+    p_evaluate.add_argument("--dirty", required=True, help="polluted table")
+    p_evaluate.add_argument(
+        "--input-format",
+        choices=_FORMAT_NAMES,
+        help="force the format of --clean and --dirty",
+    )
     p_evaluate.add_argument("--log", required=True, type=Path)
     p_evaluate.add_argument("--model", required=True, type=Path)
 
@@ -178,7 +281,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         n_rules = len(profile.rules)
         out_schema = profile.schema
     table = generator.generate(args.records, random.Random(args.data_seed))
-    write_csv(table, args.out)
+    _write_output(table, args.out, args.output_format)
     print(f"generated {table.n_rows} records over {n_rules} rules to {args.out}")
     if args.schema_out:
         with open(args.schema_out, "w", encoding="utf-8") as handle:
@@ -189,10 +292,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_pollute(args: argparse.Namespace) -> int:
     schema = _load_schema(args.schema)
-    table = read_csv(schema, args.input)
+    table = _read_input(schema, args.input, args.input_format, args.null_marker)
     pipeline = PollutionPipeline(default_polluters(), factor=args.factor)
     dirty, log = pipeline.apply(table, random.Random(args.seed))
-    write_csv(dirty, args.output)
+    _write_output(dirty, args.output, args.output_format, args.null_marker)
     print(
         f"polluted {table.n_rows} → {dirty.n_rows} records "
         f"({log.n_cell_changes} cell changes, {log.n_duplicated} duplicates, "
@@ -207,7 +310,7 @@ def _cmd_pollute(args: argparse.Namespace) -> int:
 
 def _cmd_fit(args: argparse.Namespace) -> int:
     schema = _load_schema(args.schema)
-    table = read_csv(schema, args.input)
+    table = _read_input(schema, args.input, args.input_format, args.null_marker)
     auditor = DataAuditor(
         schema, AuditorConfig(min_error_confidence=args.min_confidence)
     )
@@ -233,52 +336,17 @@ def _load_model(path: Path) -> DataAuditor:
         raise SystemExit(f"error: {exc}") from exc
 
 
-def _finding_to_json(finding: Finding) -> dict:
-    proposal = finding.proposal
-    observed = finding.observed_value
-    return {
-        "row": finding.row,
-        "attribute": finding.attribute,
-        "observed": observed if _json_safe(observed) else str(observed),
-        "observed_label": finding.observed_label,
-        "expected": finding.predicted_label,
-        "confidence": round(finding.confidence, 6),
-        "support": round(finding.support, 2),
-        "proposal": proposal if _json_safe(proposal) else str(proposal),
-    }
-
-
-def _json_safe(value) -> bool:
-    return value is None or isinstance(value, (str, int, float, bool))
-
-
 def _write_findings(findings: list[Finding], args: argparse.Namespace) -> None:
+    """Findings leave through the same :class:`TableSink` layer as data
+    tables — one code path whether they land in CSV, JSONL, a SQLite
+    table, or (jsonl only) on stdout."""
+    table = findings_to_table(findings)
     if args.findings_out:
-        with open(args.findings_out, "w", newline="", encoding="utf-8") as handle:
-            if args.format == "jsonl":
-                for finding in findings:
-                    handle.write(json.dumps(_finding_to_json(finding)) + "\n")
-            else:
-                writer = csv.writer(handle)
-                writer.writerow(
-                    ["row", "attribute", "observed", "expected", "confidence", "support", "proposal"]
-                )
-                for finding in findings:
-                    writer.writerow(
-                        [
-                            finding.row,
-                            finding.attribute,
-                            finding.observed_value,
-                            finding.predicted_label,
-                            f"{finding.confidence:.6f}",
-                            f"{finding.support:.2f}",
-                            finding.proposal,
-                        ]
-                    )
+        _write_output(table, args.findings_out, args.format)
         print(f"wrote all findings to {args.findings_out}")
     elif args.format == "jsonl":
-        for finding in findings:
-            print(json.dumps(_finding_to_json(finding)))
+        with JsonlTableSink(table.schema, sys.stdout) as sink:
+            sink.write(table)
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
@@ -287,6 +355,18 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         raise SystemExit("error: --jobs must not be 0 (use 1 for serial, -1 for all cores)")
     if args.chunk_size is not None and args.chunk_size < 1:
         raise SystemExit("error: --chunk-size must be at least 1")
+    # without --findings-out, jsonl streams to stdout and csv (the
+    # historical default) is a no-op — only the file-only formats need
+    # the output path
+    if (
+        args.format is not None
+        and args.format not in ("csv",) + _STDOUT_FORMATS
+        and not args.findings_out
+    ):
+        raise SystemExit(
+            f"error: --format {args.format} needs --findings-out "
+            f"(only {', '.join(_STDOUT_FORMATS)} can stream to stdout)"
+        )
     auditor = _load_model(args.model)
     quiet = args.format == "jsonl" and not args.findings_out
     if args.chunk_size is not None:
@@ -296,20 +376,25 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         collected: list[Finding] = []
         n_rows = 0
         n_chunks = 0
-        for chunk_report in session.audit_csv_stream(
-            args.input, chunk_size=args.chunk_size, n_jobs=args.jobs
-        ):
-            n_chunks += 1
-            n_rows += chunk_report.n_rows
-            collected.extend(chunk_report.findings)
-            if not quiet:
-                print(
-                    f"  chunk {n_chunks}: {chunk_report.n_rows} records, "
-                    f"{chunk_report.n_suspicious} suspicious"
-                )
+        with _open_input(
+            auditor.schema, args.input, args.input_format, args.null_marker
+        ) as source:
+            for chunk_report in session.audit_source(
+                source, chunk_size=args.chunk_size, n_jobs=args.jobs
+            ):
+                n_chunks += 1
+                n_rows += chunk_report.n_rows
+                collected.extend(chunk_report.findings)
+                if not quiet:
+                    print(
+                        f"  chunk {n_chunks}: {chunk_report.n_rows} records, "
+                        f"{chunk_report.n_suspicious} suspicious"
+                    )
         findings = sorted(collected, key=lambda f: (-f.confidence, f.row, f.attribute))
     else:
-        table = read_csv(auditor.schema, args.input)
+        table = _read_input(
+            auditor.schema, args.input, args.input_format, args.null_marker
+        )
         report = auditor.audit(table, n_jobs=args.jobs)
         findings = report.findings
         n_rows = report.n_rows
@@ -328,8 +413,8 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     schema = _load_schema(args.schema)
-    clean = read_csv(schema, args.clean)
-    dirty = read_csv(schema, args.dirty)
+    clean = _read_input(schema, args.clean, args.input_format)
+    dirty = _read_input(schema, args.dirty, args.input_format)
     with open(args.log, "r", encoding="utf-8") as handle:
         log = PollutionLog.from_dict(json.load(handle))
     auditor = _load_model(args.model)

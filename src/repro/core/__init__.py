@@ -17,7 +17,13 @@ from repro.core.confidence import (
     min_instances_for_confidence,
     record_error_confidence,
 )
-from repro.core.findings import AuditReport, Correction, Finding
+from repro.core.findings import (
+    AuditReport,
+    Correction,
+    Finding,
+    findings_schema,
+    findings_to_table,
+)
 from repro.core.parallel import (
     audit_chunks_parallel,
     audit_table_parallel,
@@ -43,6 +49,8 @@ __all__ = [
     "audit_table_parallel",
     "audit_chunks_parallel",
     "Finding",
+    "findings_schema",
+    "findings_to_table",
     "Correction",
     "error_confidence",
     "error_confidence_batch",

@@ -47,6 +47,7 @@ from repro.mining.intervals import ConfidenceBounds
 from repro.mining.tree.grow import TreeConfig
 from repro.mining.tree_classifier import TreeClassifier
 from repro.mining.tree.rules import TreeRule
+from repro.schema.domain import TextDomain
 from repro.schema.schema import Schema
 from repro.schema.table import Table
 
@@ -159,6 +160,22 @@ class DataAuditor:
     detection + correction proposal)."""
 
     def __init__(self, schema: Schema, config: Optional[AuditorConfig] = None):
+        # open-vocabulary text attributes (TextDomain) exist for derived
+        # reporting tables (findings, logs) and cannot be mined — reject
+        # them here with a clear message instead of an AttributeError
+        # deep inside dataset encoding
+        unmineable = [
+            attribute.name
+            for attribute in schema.attributes
+            if isinstance(attribute.domain, TextDomain)
+        ]
+        if unmineable:
+            raise ValueError(
+                f"text attributes cannot be audited: {unmineable!r} use the "
+                f"open-vocabulary TextDomain (meant for reporting tables "
+                f"such as findings exports); audit relations need "
+                f"nominal/numeric/date attributes"
+            )
         self.schema = schema
         self.config = config or AuditorConfig()
         self.classifiers: dict[str, AttributeClassifier] = {}

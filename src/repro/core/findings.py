@@ -14,11 +14,18 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Sequence
 
+from repro.schema.attribute import numeric, text
 from repro.schema.schema import Schema
 from repro.schema.table import Table
 from repro.schema.types import Value
 
-__all__ = ["Finding", "Correction", "AuditReport"]
+__all__ = [
+    "Finding",
+    "Correction",
+    "AuditReport",
+    "findings_schema",
+    "findings_to_table",
+]
 
 
 @dataclass(frozen=True)
@@ -51,6 +58,58 @@ class Correction:
     old_value: Value
     new_value: Value
     confidence: float
+
+
+def findings_schema() -> Schema:
+    """The relational shape of a findings export.
+
+    Findings are themselves table-shaped, so they flow through the same
+    storage backends (:mod:`repro.io`) as the data they describe — one
+    code path writes findings as CSV, JSONL, or a SQLite table. String
+    columns use :class:`~repro.schema.domain.TextDomain` (open
+    vocabulary); ``observed`` and ``proposal`` are the canonical text
+    forms of the cell values (null stays null).
+    """
+    return Schema(
+        [
+            numeric("row", 0, 2**63 - 1, integer=True, nullable=False),
+            text("attribute", nullable=False),
+            text("observed"),
+            text("observed_label", nullable=False),
+            text("expected", nullable=False),
+            numeric("confidence", 0.0, 1.0, nullable=False),
+            numeric("support", 0.0, float("1e308")),
+            text("proposal"),
+        ]
+    )
+
+
+def _value_text(value: Value) -> Optional[str]:
+    return None if value is None else str(value)
+
+
+def findings_to_table(findings: Iterable[Finding]) -> Table:
+    """Materialize findings as a :class:`Table` of :func:`findings_schema`.
+
+    The bridge between audit reports and the pluggable storage layer:
+    ``repro audit --findings-out x.jsonl`` is
+    ``write_table(findings_to_table(...), "x.jsonl")``.
+    """
+    table = Table(findings_schema())
+    for finding in findings:
+        table.rows.append(
+            [
+                finding.row,
+                finding.attribute,
+                _value_text(finding.observed_value),
+                finding.observed_label,
+                finding.predicted_label,
+                finding.confidence,
+                finding.support,
+                _value_text(finding.proposal),
+            ]
+        )
+    return table
 
 
 class AuditReport:

@@ -13,13 +13,19 @@ first-class API on top of :class:`~repro.core.auditor.DataAuditor`:
   hand-over between the offline and online jobs;
 * :meth:`AuditSession.audit` — whole-table deviation detection (the
   batch-vectorized hot path);
-* :meth:`AuditSession.audit_chunks` / :meth:`AuditSession.audit_csv_stream`
+* :meth:`AuditSession.audit_chunks` / :meth:`AuditSession.audit_source`
   — incremental checking of an unbounded load: each chunk yields an
   :class:`~repro.core.findings.AuditReport` immediately (quarantine
   decisions don't wait for the full load), and
   :meth:`AuditReport.merge <repro.core.findings.AuditReport.merge>`
   recovers the exact whole-table report afterwards. Peak memory is
   bounded by the chunk size, not the stream length.
+  :meth:`AuditSession.audit_source` speaks every registered storage
+  backend (:mod:`repro.io`) — a CSV path, a JSONL log, a SQLite
+  warehouse table (``sqlite:///wh.db?table=loads``), a Parquet extract —
+  and :meth:`AuditSession.fit_source` is its offline counterpart;
+  :meth:`AuditSession.audit_csv_stream` remains as the CSV-specific
+  wrapper.
 
 Every audit entry point takes ``n_jobs=`` and fans out over a process
 pool when it exceeds 1 (:mod:`repro.core.parallel`): whole-table audits
@@ -42,7 +48,9 @@ from typing import Iterable, Iterator, Optional, Union
 from repro.core.auditor import AuditorConfig, DataAuditor
 from repro.core.findings import AuditReport
 from repro.core.parallel import audit_chunks_parallel, resolve_n_jobs
-from repro.schema.io import read_csv_chunks
+from repro.io.base import DEFAULT_CHUNK_SIZE, TableSource
+from repro.io.csv_backend import CsvTableSource
+from repro.io.registry import open_source
 from repro.schema.schema import Schema
 from repro.schema.table import Table
 
@@ -108,6 +116,23 @@ class AuditSession:
         """Induce the structure model (sec. 5; may run offline)."""
         self.auditor.fit(table)
         return self
+
+    def fit_source(self, source, *, validate: bool = False) -> "AuditSession":
+        """:meth:`fit` on any stored table (the offline half of sec. 2.2).
+
+        *source* is an open :class:`~repro.io.TableSource` or a location
+        resolved through the format registry against this session's
+        schema — a CSV/JSONL/Parquet path or a SQLite database
+        (``history.db``, ``sqlite:///wh.db?table=history``). Structure
+        induction needs the whole training relation, so the source is
+        materialized in memory.
+        """
+        source, owned = self._resolve_source(source)
+        try:
+            return self.fit(source.read(validate=validate))
+        finally:
+            if owned:
+                source.close()
 
     def save(self, path: Union[str, Path]) -> None:
         """Persist the fitted structure model for the online job.
@@ -206,27 +231,69 @@ class AuditSession:
             yield self.auditor.audit(chunk, n_jobs=1).with_row_offset(offset)
             offset += chunk.n_rows
 
+    def _resolve_source(self, source) -> tuple[TableSource, bool]:
+        """Accept an open :class:`TableSource` or a registry location.
+
+        Returns ``(source, owned)``: locations are opened here (and must
+        be closed here); caller-provided sources stay the caller's to
+        close.
+        """
+        if isinstance(source, TableSource):
+            if source.schema != self.schema:
+                raise ValueError(
+                    "the table source's schema does not match the session's"
+                )
+            return source, False
+        return open_source(self.schema, source), True
+
+    def audit_source(
+        self,
+        source,
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        n_jobs: Optional[int] = None,
+    ) -> Iterator[AuditReport]:
+        """Check any stored table chunk by chunk (the online half of
+        sec. 2.2, on the warehouse's own formats).
+
+        *source* is an open :class:`~repro.io.TableSource` or a location
+        resolved through the format registry (CSV/JSONL/Parquet path,
+        SQLite database or ``sqlite:///…?table=…`` URI). Peak memory is
+        bounded by *chunk_size* (times a small constant window when
+        ``n_jobs > 1``), independent of the stored row count; see
+        :meth:`audit_chunks` for the report and parallelism semantics —
+        in particular, ``AuditReport.merge`` of the yielded reports
+        equals the whole-table audit for every backend at every chunk
+        size and job count.
+        """
+        source, owned = self._resolve_source(source)
+        try:
+            yield from self.audit_chunks(source.chunks(chunk_size), n_jobs=n_jobs)
+        finally:
+            if owned:
+                source.close()
+
     def audit_csv_stream(
         self,
         source,
         *,
-        chunk_size: int = 8192,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
         null_marker: str = "",
         n_jobs: Optional[int] = None,
     ) -> Iterator[AuditReport]:
         """Check a CSV file (path or text stream) chunk by chunk.
 
-        Peak memory is bounded by *chunk_size* (times a small constant
-        window when ``n_jobs > 1``), independent of the file's row count;
-        see :meth:`audit_chunks` for the report and parallelism
-        semantics.
+        The CSV-specific wrapper around :meth:`audit_source` (which
+        speaks every registered backend); kept for the common case and
+        for the ``null_marker`` knob.
         """
-        yield from self.audit_chunks(
-            read_csv_chunks(
-                self.schema, source, chunk_size=chunk_size, null_marker=null_marker
-            ),
-            n_jobs=n_jobs,
-        )
+        csv_source = CsvTableSource(self.schema, source, null_marker=null_marker)
+        try:
+            yield from self.audit_source(
+                csv_source, chunk_size=chunk_size, n_jobs=n_jobs
+            )
+        finally:
+            csv_source.close()
 
     def __repr__(self) -> str:
         state = "fitted" if self.is_fitted else "unfitted"

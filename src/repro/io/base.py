@@ -1,0 +1,202 @@
+"""The table I/O protocols: :class:`TableSource` and :class:`TableSink`.
+
+The paper embeds auditing in the warehouse loading process (sec. 2.2), so
+the auditor must speak the warehouse's own formats instead of forcing a
+lossy CSV export. Every storage backend implements the same two small
+protocols:
+
+* :class:`TableSource` — *open → schema → iterate chunks of* :class:`Table`.
+  A source is bound to a :class:`~repro.schema.schema.Schema` at open
+  time (reads are schema-driven: the schema decides how each raw cell is
+  coerced, so round trips are loss-free for admissible tables) and is
+  consumed **once**, either whole (:meth:`TableSource.read`) or as a
+  bounded-memory stream (:meth:`TableSource.chunks`) — the substrate for
+  :meth:`AuditSession.audit_source
+  <repro.core.session.AuditSession.audit_source>`.
+* :class:`TableSink` — *write header → write chunks → close*. Chunks may
+  arrive incrementally (a streaming audit's findings, a generator's
+  output); the header (CSV header row, ``CREATE TABLE``, Parquet file
+  schema) is written exactly once, lazily before the first chunk, and
+  closing an empty sink still produces a valid empty container.
+
+Both are context managers; ``with`` guarantees file handles and database
+connections are released (and, for sinks, that the header exists and
+buffers are flushed) even on error paths.
+
+Concrete backends live in :mod:`repro.io` siblings and are looked up
+through the format registry (:mod:`repro.io.registry`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Iterator, Optional, TextIO, Union
+
+from repro.schema.schema import Schema
+from repro.schema.table import Table
+from repro.schema.types import Value
+
+__all__ = ["DEFAULT_CHUNK_SIZE", "TableSource", "TableSink", "open_text"]
+
+#: Default rows per chunk for chunked reads — matches the historical
+#: ``read_csv_chunks`` / ``AuditSession.audit_csv_stream`` default.
+DEFAULT_CHUNK_SIZE = 8192
+
+
+def open_text(
+    target: Union[str, Path, TextIO], mode: str, *, newline: Optional[str] = None
+) -> tuple[TextIO, bool]:
+    """Open *target* if it is a path; pass streams through unowned.
+
+    Returns ``(handle, owns_handle)`` — text-backed backends close only
+    the handles they opened themselves, so caller-provided streams
+    (``StringIO``, ``sys.stdout``) survive the source/sink lifecycle.
+    """
+    if isinstance(target, (str, Path)):
+        return open(target, mode, newline=newline, encoding="utf-8"), True
+    return target, False
+
+
+class TableSource(ABC):
+    """A single-pass, schema-driven reader of one stored table.
+
+    Subclasses open their storage in ``__init__`` (so open errors surface
+    at construction, where the location is known) and implement
+    :meth:`_iter_rows`, yielding schema-ordered cell lists. The base
+    class turns that row stream into whole tables or bounded chunks.
+    """
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+
+    # -- backend contract ---------------------------------------------------
+
+    @abstractmethod
+    def _iter_rows(self) -> Iterator[list[Value]]:
+        """Yield one schema-ordered cell list per stored row."""
+
+    def close(self) -> None:
+        """Release the underlying handle (idempotent)."""
+
+    # -- consumption --------------------------------------------------------
+
+    def read(self, *, validate: bool = False) -> Table:
+        """Materialize the whole source as one :class:`Table`."""
+        table = Table(self.schema)
+        table.rows.extend(self._iter_rows())
+        if validate:
+            table.validate()
+        return table
+
+    def chunks(
+        self, chunk_size: int = DEFAULT_CHUNK_SIZE, *, validate: bool = False
+    ) -> Iterator[Table]:
+        """Stream the source as tables of at most *chunk_size* rows.
+
+        Rows are pulled lazily, so peak memory is bounded by the chunk
+        size rather than the stored row count. A source holding a valid
+        header but no rows yields no chunks.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        chunk = Table(self.schema)
+        for cells in self._iter_rows():
+            chunk.rows.append(cells)
+            if len(chunk.rows) >= chunk_size:
+                if validate:
+                    chunk.validate()
+                yield chunk
+                chunk = Table(self.schema)
+        if chunk.rows:
+            if validate:
+                chunk.validate()
+            yield chunk
+
+    # -- context management -------------------------------------------------
+
+    def __enter__(self) -> "TableSource":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({len(self.schema)} attributes)"
+
+
+class TableSink(ABC):
+    """A schema-bound, chunk-at-a-time writer of one stored table.
+
+    Subclasses implement :meth:`_write_header` (written exactly once,
+    before the first rows) and :meth:`_write_rows`. Closing via the
+    context manager on the success path writes the header even when no
+    chunk arrived, so an empty table still round-trips.
+    """
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self._header_written = False
+
+    # -- backend contract ---------------------------------------------------
+
+    @abstractmethod
+    def _write_header(self) -> None:
+        """Emit the one-time container header (CSV header row, DDL, …)."""
+
+    @abstractmethod
+    def _write_rows(self, rows: list[list[Value]]) -> None:
+        """Append schema-ordered rows after the header."""
+
+    def close(self) -> None:
+        """Flush, finalize, and release the underlying handle (idempotent)."""
+
+    def abort(self) -> None:
+        """Release the handle WITHOUT finalizing — the error path.
+
+        Transactional backends roll back (a failed replace-write must
+        leave the pre-existing table untouched); container formats
+        discard the unreadable partial file. The default just closes.
+        """
+        self.close()
+
+    # -- writing ------------------------------------------------------------
+
+    def write_header(self) -> None:
+        """Ensure the header exists (no-op after the first call)."""
+        if not self._header_written:
+            self._write_header()
+            self._header_written = True
+
+    def write_chunk(self, table: Table) -> None:
+        """Append one chunk; all chunks must share the sink's schema."""
+        if table.schema != self.schema:
+            raise ValueError(
+                f"chunk schema {list(table.schema.names)!r} does not match "
+                f"sink schema {list(self.schema.names)!r}"
+            )
+        self.write_header()
+        self._write_rows(table.rows)
+
+    def write(self, table: Table) -> None:
+        """Write a whole table (header + one chunk)."""
+        self.write_chunk(table)
+
+    # -- context management -------------------------------------------------
+
+    def __enter__(self) -> "TableSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            try:
+                self.write_header()
+            except BaseException:
+                self.abort()  # a failing header must not leak the handle
+                raise
+            self.close()
+        else:
+            self.abort()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({len(self.schema)} attributes)"

@@ -1,0 +1,113 @@
+"""CSV backend: header-checked, schema-driven text tables.
+
+The historical format of the pipeline (and still the default). The
+header row must name exactly the schema's attributes; column order in
+the file may differ from schema order. Cells follow the canonical text
+forms of :mod:`repro.io.cells`; nulls are a configurable marker
+(``null_marker``, default: empty field).
+
+Both ends accept a path or an open text stream — streams passed in by
+the caller are left open on :meth:`close`.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterator, TextIO, Union
+
+from repro.io.base import TableSink, TableSource, open_text
+from repro.io.cells import (
+    DEFAULT_NULL_MARKER,
+    convert_row,
+    parse_cell,
+    render_cell,
+)
+from repro.schema.schema import Schema
+from repro.schema.types import Value
+
+__all__ = ["CsvTableSource", "CsvTableSink"]
+
+
+class CsvTableSource(TableSource):
+    """Schema-driven CSV reader (path or text stream)."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        source: Union[str, Path, TextIO],
+        *,
+        null_marker: str = DEFAULT_NULL_MARKER,
+    ):
+        super().__init__(schema)
+        self.null_marker = null_marker
+        self._handle, self._owns_handle = open_text(source, "r", newline="")
+        try:
+            self._reader = csv.reader(self._handle)
+            try:
+                header = next(self._reader)
+            except StopIteration:
+                raise ValueError("CSV input is empty (missing header row)") from None
+            if set(header) != set(schema.names):
+                raise ValueError(
+                    f"CSV header {header!r} does not match schema attributes "
+                    f"{list(schema.names)!r}"
+                )
+            self._n_fields = len(header)
+            self._order = [header.index(name) for name in schema.names]
+        except Exception:
+            self.close()
+            raise
+
+    def _iter_rows(self) -> Iterator[list[Value]]:
+        names = self.schema.names
+        order = self._order
+        marker = self.null_marker
+        converters = [
+            lambda text, kind=a.kind, integer=getattr(a.domain, "integer", False): (
+                parse_cell(text, kind, marker, integer)
+            )
+            for a in self.schema.attributes
+        ]
+        for line_no, fields in enumerate(self._reader, start=2):
+            if len(fields) != self._n_fields:
+                raise ValueError(
+                    f"line {line_no}: expected {self._n_fields} fields, "
+                    f"got {len(fields)}"
+                )
+            raw = [fields[src] for src in order]
+            yield convert_row(f"line {line_no}", raw, converters, names)
+
+    def close(self) -> None:
+        if self._owns_handle and not self._handle.closed:
+            self._handle.close()
+
+
+class CsvTableSink(TableSink):
+    """CSV writer (path or text stream): header row, then data rows."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        target: Union[str, Path, TextIO],
+        *,
+        null_marker: str = DEFAULT_NULL_MARKER,
+    ):
+        super().__init__(schema)
+        self.null_marker = null_marker
+        self._handle, self._owns_handle = open_text(target, "w", newline="")
+        self._writer = csv.writer(self._handle)
+
+    def _write_header(self) -> None:
+        self._writer.writerow(self.schema.names)
+
+    def _write_rows(self, rows: list[list[Value]]) -> None:
+        kinds = [a.kind for a in self.schema.attributes]
+        marker = self.null_marker
+        self._writer.writerows(
+            [render_cell(v, k, marker) for v, k in zip(row, kinds)] for row in rows
+        )
+
+    def close(self) -> None:
+        if self._owns_handle and not self._handle.closed:
+            self._handle.close()

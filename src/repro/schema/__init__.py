@@ -1,7 +1,12 @@
-"""Relational substrate: attribute kinds, domains, schemas, tables, CSV I/O."""
+"""Relational substrate: attribute kinds, domains, schemas, tables, CSV I/O.
 
-from repro.schema.attribute import Attribute, date, nominal, numeric
-from repro.schema.domain import DateDomain, Domain, NominalDomain, NumericDomain
+(The CSV helpers re-exported here are back-compat wrappers; the full
+pluggable storage layer — CSV, JSONL, SQLite, Parquet — lives in
+:mod:`repro.io`.)
+"""
+
+from repro.schema.attribute import Attribute, date, nominal, numeric, text
+from repro.schema.domain import DateDomain, Domain, NominalDomain, NumericDomain, TextDomain
 from repro.schema.io import (
     read_csv,
     read_csv_chunks,
@@ -22,10 +27,12 @@ __all__ = [
     "NominalDomain",
     "NumericDomain",
     "DateDomain",
+    "TextDomain",
     "Attribute",
     "nominal",
     "numeric",
     "date",
+    "text",
     "Schema",
     "Table",
     "Row",

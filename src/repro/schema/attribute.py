@@ -5,10 +5,10 @@ from __future__ import annotations
 import datetime
 from typing import Sequence
 
-from repro.schema.domain import DateDomain, Domain, NominalDomain, NumericDomain
+from repro.schema.domain import DateDomain, Domain, NominalDomain, NumericDomain, TextDomain
 from repro.schema.types import AttributeKind, Value
 
-__all__ = ["Attribute", "nominal", "numeric", "date"]
+__all__ = ["Attribute", "nominal", "numeric", "date", "text"]
 
 
 class Attribute:
@@ -77,3 +77,8 @@ def date(
 ) -> Attribute:
     """Shorthand for a date attribute over ``[start, end]``."""
     return Attribute(name, DateDomain(start, end), nullable=nullable)
+
+
+def text(name: str, *, nullable: bool = True) -> Attribute:
+    """Shorthand for an open-vocabulary string attribute (reporting tables)."""
+    return Attribute(name, TextDomain(), nullable=nullable)

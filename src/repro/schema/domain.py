@@ -11,6 +11,11 @@ Three concrete domains mirror the three attribute kinds:
 * :class:`NumericDomain` — a closed interval of integers or floats,
 * :class:`DateDomain` — a closed interval of calendar dates.
 
+A fourth, :class:`TextDomain`, admits *any* string. It exists for
+derived and reporting tables (audit findings, logs) that flow through
+the storage backends of :mod:`repro.io` but are never mined — it has no
+numeric view and cannot be sampled.
+
 Ordered domains expose a common *numeric view* (:meth:`Domain.to_number` /
 :meth:`Domain.from_number`) so that the mining layer can treat dates as
 ordered numerics (equal-frequency discretization, numeric splits in the
@@ -27,7 +32,7 @@ from typing import Iterator, Sequence
 
 from repro.schema.types import AttributeKind, Value
 
-__all__ = ["Domain", "NominalDomain", "NumericDomain", "DateDomain"]
+__all__ = ["Domain", "NominalDomain", "NumericDomain", "DateDomain", "TextDomain"]
 
 
 class Domain(ABC):
@@ -124,6 +129,40 @@ class NominalDomain(Domain):
         return f"NominalDomain({shown})"
 
 
+class TextDomain(Domain):
+    """All strings — the open-ended counterpart of :class:`NominalDomain`.
+
+    For derived/reporting relations (audit findings, provenance logs)
+    whose string columns have no finite vocabulary. Such tables are
+    written and read through :mod:`repro.io` like any other, but they
+    are not mined: a text domain has no value order, so it cannot be
+    sampled and has no numeric view.
+    """
+
+    kind = AttributeKind.NOMINAL
+
+    def contains(self, value: Value) -> bool:
+        return isinstance(value, str)
+
+    def sample_uniform(self, rng: random.Random) -> str:
+        raise TypeError("a text domain is unbounded and cannot be sampled")
+
+    def to_number(self, value: Value) -> float:
+        raise TypeError("a text domain has no numeric view")
+
+    def from_number(self, number: float) -> Value:
+        raise TypeError("a text domain has no numeric view")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TextDomain)
+
+    def __hash__(self) -> int:
+        return hash(TextDomain)
+
+    def __repr__(self) -> str:
+        return "TextDomain()"
+
+
 class NumericDomain(Domain):
     """A closed numeric interval ``[low, high]``.
 
@@ -149,7 +188,9 @@ class NumericDomain(Domain):
     def contains(self, value: Value) -> bool:
         if isinstance(value, bool) or not isinstance(value, (int, float)):
             return False
-        if self.integer and float(value) != int(value):
+        # integer-valuedness must not go through float() — that loses
+        # precision beyond 2**53 and would reject admissible large ints
+        if self.integer and isinstance(value, float) and not value.is_integer():
             return False
         return self.low <= value <= self.high
 

@@ -1,27 +1,39 @@
-"""CSV serialization for tables.
+"""CSV serialization for tables — back-compat wrappers.
 
-Cells are rendered according to the attribute kind:
+The actual reader/writer lives in the pluggable storage layer
+(:mod:`repro.io.csv_backend`, one of the :class:`~repro.io.TableSource`
+/ :class:`~repro.io.TableSink` backends behind the format registry);
+these wrappers keep the historical call signatures working. New code
+that may meet formats other than CSV should go through
+:func:`repro.io.read_table` / :func:`repro.io.write_table` or
+:func:`repro.io.open_source` instead.
+
+Cells are rendered according to the attribute kind (see
+:mod:`repro.io.cells`):
 
 * nominal — the raw string,
-* numeric — ``repr`` of the int/float,
+* numeric — ``str``/``repr`` of the int/float; ``nan``/``inf``
+  spellings are rejected on read with an error naming line and
+  attribute (non-finite values are never admissible),
 * date — ISO format (``YYYY-MM-DD``),
 * null — a configurable marker (default: empty field).
 
-Reading is schema-driven: the schema decides how each field is parsed, so a
-round trip through CSV is loss-free for admissible tables.
+Reading is schema-driven: the schema decides how each field is parsed,
+so a round trip through CSV is loss-free for admissible tables.
+
+The imports below are function-level on purpose: :mod:`repro.io` builds
+on :mod:`repro.schema`, so this module must not pull it in at import
+time.
 """
 
 from __future__ import annotations
 
-import csv
-import datetime
 import io as _io
 from pathlib import Path
 from typing import Iterator, TextIO, Union
 
 from repro.schema.schema import Schema
 from repro.schema.table import Table
-from repro.schema.types import AttributeKind, Value
 
 __all__ = [
     "write_csv",
@@ -34,46 +46,12 @@ __all__ = [
 _DEFAULT_NULL = ""
 
 
-def _render(value: Value, kind: AttributeKind, null_marker: str) -> str:
-    if value is None:
-        return null_marker
-    if kind is AttributeKind.DATE:
-        return value.isoformat()  # type: ignore[union-attr]
-    if kind is AttributeKind.NUMERIC:
-        if isinstance(value, int):
-            return str(value)
-        return repr(float(value))
-    return str(value)
-
-
-def _parse(text: str, kind: AttributeKind, null_marker: str, integer: bool) -> Value:
-    if text == null_marker:
-        return None
-    if kind is AttributeKind.NOMINAL:
-        return text
-    if kind is AttributeKind.DATE:
-        return datetime.date.fromisoformat(text)
-    if integer:
-        return int(text)
-    number = float(text)
-    return int(number) if number.is_integer() and "." not in text and "e" not in text.lower() else number
-
-
 def write_csv(table: Table, target: Union[str, Path, TextIO], *, null_marker: str = _DEFAULT_NULL) -> None:
     """Write *table* (with a header row) to a path or text stream."""
-    if isinstance(target, (str, Path)):
-        with open(target, "w", newline="", encoding="utf-8") as handle:
-            _write(table, handle, null_marker)
-    else:
-        _write(table, target, null_marker)
+    from repro.io.csv_backend import CsvTableSink
 
-
-def _write(table: Table, handle: TextIO, null_marker: str) -> None:
-    writer = csv.writer(handle)
-    writer.writerow(table.schema.names)
-    kinds = [a.kind for a in table.schema.attributes]
-    for row in table.rows:
-        writer.writerow([_render(v, k, null_marker) for v, k in zip(row, kinds)])
+    with CsvTableSink(table.schema, target, null_marker=null_marker) as sink:
+        sink.write(table)
 
 
 def read_csv(
@@ -85,48 +63,13 @@ def read_csv(
 ) -> Table:
     """Read a table of *schema* from a path or text stream.
 
-    The header row must name exactly the schema attributes; column order in
-    the file may differ from schema order.
+    The header row must name exactly the schema attributes; column order
+    in the file may differ from schema order.
     """
-    if isinstance(source, (str, Path)):
-        with open(source, "r", newline="", encoding="utf-8") as handle:
-            return _read(schema, handle, null_marker, validate)
-    return _read(schema, source, null_marker, validate)
+    from repro.io.csv_backend import CsvTableSource
 
-
-def _parsed_rows(
-    schema: Schema, handle: TextIO, null_marker: str
-) -> Iterator[list[Value]]:
-    """Header-checked, schema-ordered cell lists, one per CSV data row."""
-    reader = csv.reader(handle)
-    try:
-        header = next(reader)
-    except StopIteration:
-        raise ValueError("CSV input is empty (missing header row)") from None
-    if set(header) != set(schema.names):
-        raise ValueError(
-            f"CSV header {header!r} does not match schema attributes {list(schema.names)!r}"
-        )
-    order = [header.index(name) for name in schema.names]
-    kinds = [a.kind for a in schema.attributes]
-    integers = [
-        getattr(a.domain, "integer", False) for a in schema.attributes
-    ]
-    for line_no, fields in enumerate(reader, start=2):
-        if len(fields) != len(header):
-            raise ValueError(f"line {line_no}: expected {len(header)} fields, got {len(fields)}")
-        yield [
-            _parse(fields[src], kind, null_marker, integer)
-            for src, kind, integer in zip(order, kinds, integers)
-        ]
-
-
-def _read(schema: Schema, handle: TextIO, null_marker: str, validate: bool) -> Table:
-    table = Table(schema)
-    table.rows.extend(_parsed_rows(schema, handle, null_marker))
-    if validate:
-        table.validate()
-    return table
+    with CsvTableSource(schema, source, null_marker=null_marker) as csv_source:
+        return csv_source.read(validate=validate)
 
 
 def read_csv_chunks(
@@ -141,34 +84,16 @@ def read_csv_chunks(
 
     Rows are parsed lazily, so peak memory is bounded by the chunk size
     rather than the file size — the substrate for
-    :meth:`AuditSession.audit_csv_stream
-    <repro.core.session.AuditSession.audit_csv_stream>`. An input with a
+    :meth:`AuditSession.audit_source
+    <repro.core.session.AuditSession.audit_source>`. An input with a
     valid header but no data rows yields no chunks.
     """
+    from repro.io.csv_backend import CsvTableSource
+
     if chunk_size < 1:
         raise ValueError("chunk_size must be at least 1")
-    if isinstance(source, (str, Path)):
-        with open(source, "r", newline="", encoding="utf-8") as handle:
-            yield from _read_chunks(schema, handle, chunk_size, null_marker, validate)
-    else:
-        yield from _read_chunks(schema, source, chunk_size, null_marker, validate)
-
-
-def _read_chunks(
-    schema: Schema, handle: TextIO, chunk_size: int, null_marker: str, validate: bool
-) -> Iterator[Table]:
-    chunk = Table(schema)
-    for cells in _parsed_rows(schema, handle, null_marker):
-        chunk.rows.append(cells)
-        if len(chunk.rows) >= chunk_size:
-            if validate:
-                chunk.validate()
-            yield chunk
-            chunk = Table(schema)
-    if chunk.rows:
-        if validate:
-            chunk.validate()
-        yield chunk
+    with CsvTableSource(schema, source, null_marker=null_marker) as csv_source:
+        yield from csv_source.chunks(chunk_size, validate=validate)
 
 
 def table_to_csv_text(table: Table, *, null_marker: str = _DEFAULT_NULL) -> str:

@@ -11,7 +11,7 @@ import datetime
 from typing import Any, Mapping
 
 from repro.schema.attribute import Attribute
-from repro.schema.domain import DateDomain, Domain, NominalDomain, NumericDomain
+from repro.schema.domain import DateDomain, Domain, NominalDomain, NumericDomain, TextDomain
 from repro.schema.schema import Schema
 
 __all__ = ["schema_to_dict", "schema_from_dict", "domain_to_dict", "domain_from_dict"]
@@ -34,6 +34,8 @@ def domain_to_dict(domain: Domain) -> dict[str, Any]:
             "start": domain.start.isoformat(),
             "end": domain.end.isoformat(),
         }
+    if isinstance(domain, TextDomain):
+        return {"kind": "text"}
     raise TypeError(f"unsupported domain type: {type(domain).__name__}")
 
 
@@ -51,6 +53,8 @@ def domain_from_dict(payload: Mapping[str, Any]) -> Domain:
             datetime.date.fromisoformat(payload["start"]),
             datetime.date.fromisoformat(payload["end"]),
         )
+    if kind == "text":
+        return TextDomain()
     raise ValueError(f"unknown domain kind: {kind!r}")
 
 

@@ -2,6 +2,10 @@
 generate→pollute→audit→evaluate pipeline, the figure sweeps, and the
 fig.-1 calibration loop."""
 
+from repro.testenv.artifacts import (
+    load_experiment_tables,
+    save_experiment_artifacts,
+)
 from repro.testenv.calibration import (
     CalibrationOutcome,
     Candidate,
@@ -46,4 +50,6 @@ __all__ = [
     "CalibrationOutcome",
     "calibrate",
     "default_candidates",
+    "save_experiment_artifacts",
+    "load_experiment_tables",
 ]

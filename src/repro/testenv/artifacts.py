@@ -1,0 +1,90 @@
+"""Persisting fig.-2 experiment artifacts through the storage registry.
+
+An :class:`~repro.testenv.experiment.ExperimentResult` holds everything
+one generate → pollute → fit → audit → evaluate cycle produced, but in
+memory. This module lands the tables on disk in **any registered
+storage format** (:mod:`repro.io`) — the same path the CLI uses — so a
+benchmark run can be replayed against the CLI (``repro fit --input
+dirty.db``), shared as JSONL, or queried as a SQLite warehouse:
+
+* ``clean.<ext>`` / ``dirty.<ext>`` — the generated and polluted tables;
+* ``findings.<ext>`` — the audit findings
+  (:func:`~repro.core.findings.findings_to_table` shape);
+* ``schema.json`` — the relation schema;
+* ``pollution_log.json`` — the ground-truth corruption log.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.findings import findings_to_table
+from repro.io.registry import format_spec, read_table, write_table
+from repro.schema.schema import Schema
+from repro.schema.serialize import schema_from_dict, schema_to_dict
+from repro.schema.table import Table
+from repro.testenv.experiment import ExperimentResult
+
+__all__ = ["save_experiment_artifacts", "load_experiment_tables"]
+
+
+def _extension(format: str) -> str:
+    spec = format_spec(format)
+    if not spec.extensions:
+        raise ValueError(f"format {format!r} registers no file extension")
+    return spec.extensions[0]
+
+
+def save_experiment_artifacts(
+    result: ExperimentResult,
+    directory: Union[str, Path],
+    *,
+    format: str = "csv",
+) -> dict[str, Path]:
+    """Write one experiment's tables and logs under *directory*.
+
+    Tables go through the format registry (``format`` names any
+    registered backend); the schema and the pollution log are JSON.
+    Returns the artifact name → path mapping.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    extension = _extension(format)
+    paths = {
+        "schema": directory / "schema.json",
+        "clean": directory / f"clean{extension}",
+        "dirty": directory / f"dirty{extension}",
+        "findings": directory / f"findings{extension}",
+        "pollution_log": directory / "pollution_log.json",
+    }
+    paths["schema"].write_text(
+        json.dumps(schema_to_dict(result.clean.schema), indent=2), encoding="utf-8"
+    )
+    write_table(result.clean, paths["clean"], format=format)
+    write_table(result.dirty, paths["dirty"], format=format)
+    write_table(findings_to_table(result.report.findings), paths["findings"], format=format)
+    paths["pollution_log"].write_text(
+        json.dumps(result.log.to_dict()), encoding="utf-8"
+    )
+    return paths
+
+
+def load_experiment_tables(
+    directory: Union[str, Path],
+    *,
+    format: str = "csv",
+    schema: Schema = None,
+) -> tuple[Table, Table]:
+    """Read back the ``(clean, dirty)`` tables saved by
+    :func:`save_experiment_artifacts` (schema taken from ``schema.json``
+    unless given)."""
+    directory = Path(directory)
+    if schema is None:
+        payload = json.loads((directory / "schema.json").read_text(encoding="utf-8"))
+        schema = schema_from_dict(payload)
+    extension = _extension(format)
+    clean = read_table(schema, directory / f"clean{extension}", format=format)
+    dirty = read_table(schema, directory / f"dirty{extension}", format=format)
+    return clean, dirty

@@ -389,3 +389,264 @@ class TestCliPolish:
                     "0",
                 ]
             )
+
+
+class TestStorageBackends:
+    """The CLI speaks every registered format on its table arguments."""
+
+    def test_sqlite_audit_equals_csv_audit(self, workspace, tmp_path):
+        _fitted_workspace(workspace)
+        # load the dirty CSV into a SQLite warehouse table, byte-for-byte
+        from repro.io import read_table, write_table
+        from repro.schema.serialize import schema_from_dict
+
+        schema = schema_from_dict(json.loads(workspace["schema"].read_text()))
+        dirty = read_table(schema, str(workspace["dirty"]))
+        warehouse = tmp_path / "warehouse.db"
+        write_table(dirty, warehouse, table="loads")
+
+        csv_findings = tmp_path / "from_csv.csv"
+        db_findings = tmp_path / "from_db.csv"
+        base = ["audit", "--model", str(workspace["model"])]
+        assert (
+            main(base + ["--input", str(workspace["dirty"]), "--findings-out", str(csv_findings)])
+            == 0
+        )
+        assert (
+            main(
+                base
+                + [
+                    "--input",
+                    f"sqlite:///{warehouse}?table=loads",
+                    "--jobs",
+                    "2",
+                    "--chunk-size",
+                    "128",
+                    "--findings-out",
+                    str(db_findings),
+                ]
+            )
+            == 0
+        )
+        assert db_findings.read_bytes() == csv_findings.read_bytes()
+
+    def test_pipeline_through_jsonl(self, workspace, tmp_path, capsys):
+        """pollute → fit → evaluate entirely over JSONL tables (mixed
+        with the CSV clean table in evaluate)."""
+        _generate(workspace)
+        dirty = tmp_path / "dirty.jsonl"
+        assert (
+            main(
+                [
+                    "pollute",
+                    "--schema",
+                    str(workspace["schema"]),
+                    "--input",
+                    str(workspace["clean"]),
+                    "--output",
+                    str(dirty),
+                    "--log-out",
+                    str(workspace["log"]),
+                ]
+            )
+            == 0
+        )
+        assert json.loads(dirty.read_text().splitlines()[0])
+        assert (
+            main(
+                [
+                    "fit",
+                    "--schema",
+                    str(workspace["schema"]),
+                    "--input",
+                    str(dirty),
+                    "--model-out",
+                    str(workspace["model"]),
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "evaluate",
+                    "--schema",
+                    str(workspace["schema"]),
+                    "--clean",
+                    str(workspace["clean"]),
+                    "--dirty",
+                    str(dirty),
+                    "--log",
+                    str(workspace["log"]),
+                    "--model",
+                    str(workspace["model"]),
+                ]
+            )
+            == 0
+        )
+        assert "sensitivity=" in capsys.readouterr().out
+
+    def test_generate_to_sqlite(self, workspace, tmp_path, capsys):
+        out = tmp_path / "clean.db"
+        assert (
+            main(
+                [
+                    "generate",
+                    "--records",
+                    "120",
+                    "--rules",
+                    "10",
+                    "--out",
+                    str(out),
+                    "--schema-out",
+                    str(workspace["schema"]),
+                ]
+            )
+            == 0
+        )
+        import sqlite3
+
+        tables = sqlite3.connect(out).execute(
+            "SELECT name FROM sqlite_master WHERE type='table'"
+        ).fetchall()
+        assert ("data",) in tables
+
+    def test_output_format_override_beats_extension(self, workspace, tmp_path):
+        _generate(workspace)
+        out = tmp_path / "dirty.dat"  # unknown extension
+        assert (
+            main(
+                [
+                    "pollute",
+                    "--schema",
+                    str(workspace["schema"]),
+                    "--input",
+                    str(workspace["clean"]),
+                    "--output",
+                    str(out),
+                    "--output-format",
+                    "jsonl",
+                    "--input-format",
+                    "csv",
+                ]
+            )
+            == 0
+        )
+        assert json.loads(out.read_text().splitlines()[0])
+
+    def test_null_marker_threaded_through_audit(self, workspace, tmp_path, capsys):
+        _fitted_workspace(workspace)
+        # rewrite the dirty table with an explicit null marker
+        from repro.io import read_table, write_table
+        from repro.schema.serialize import schema_from_dict
+
+        schema = schema_from_dict(json.loads(workspace["schema"].read_text()))
+        dirty = read_table(schema, str(workspace["dirty"]))
+        marked = tmp_path / "marked.csv"
+        write_table(dirty, marked, null_marker="\\N")
+        plain_out = tmp_path / "plain.csv"
+        marked_out = tmp_path / "marked_findings.csv"
+        base = ["audit", "--model", str(workspace["model"])]
+        assert (
+            main(base + ["--input", str(workspace["dirty"]), "--findings-out", str(plain_out)])
+            == 0
+        )
+        assert (
+            main(
+                base
+                + [
+                    "--input",
+                    str(marked),
+                    "--null-marker",
+                    "\\N",
+                    "--findings-out",
+                    str(marked_out),
+                ]
+            )
+            == 0
+        )
+        assert marked_out.read_bytes() == plain_out.read_bytes()
+
+    def test_findings_out_jsonl_inferred_from_extension(self, workspace, tmp_path):
+        _fitted_workspace(workspace)
+        out = tmp_path / "findings.jsonl"
+        assert (
+            main(
+                [
+                    "audit",
+                    "--model",
+                    str(workspace["model"]),
+                    "--input",
+                    str(workspace["dirty"]),
+                    "--findings-out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        for line in out.read_text().splitlines():
+            record = json.loads(line)
+            assert {"row", "attribute", "observed", "expected", "confidence"} <= set(
+                record
+            )
+
+    def test_findings_out_to_sqlite(self, workspace, tmp_path):
+        _fitted_workspace(workspace)
+        out = tmp_path / "findings.db"
+        assert (
+            main(
+                [
+                    "audit",
+                    "--model",
+                    str(workspace["model"]),
+                    "--input",
+                    str(workspace["dirty"]),
+                    "--findings-out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        import sqlite3
+
+        rows = sqlite3.connect(out).execute(
+            "SELECT row, attribute, confidence FROM data"
+        ).fetchall()
+        assert rows, "expected findings rows in the SQLite sink"
+
+    def test_explicit_format_csv_without_findings_out_still_valid(
+        self, workspace, capsys
+    ):
+        """Spelling out the historical default must keep working."""
+        _fitted_workspace(workspace)
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "audit",
+                    "--model",
+                    str(workspace["model"]),
+                    "--input",
+                    str(workspace["dirty"]),
+                    "--format",
+                    "csv",
+                ]
+            )
+            == 0
+        )
+        assert "audited" in capsys.readouterr().out
+
+    def test_non_stdout_format_without_findings_out_rejected(self, workspace):
+        _fitted_workspace(workspace)
+        with pytest.raises(SystemExit, match="needs --findings-out"):
+            main(
+                [
+                    "audit",
+                    "--model",
+                    str(workspace["model"]),
+                    "--input",
+                    str(workspace["dirty"]),
+                    "--format",
+                    "sqlite",
+                ]
+            )

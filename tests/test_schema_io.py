@@ -106,3 +106,27 @@ def test_integer_column_parsed_as_int(schema):
 def test_validate_on_read(schema):
     with pytest.raises(ValueError):
         table_from_csv_text(schema, "A,N,F,D\nzzz,7,0.5,2000-01-02\n", validate=True)
+
+
+@pytest.mark.parametrize(
+    "spelling", ["nan", "NaN", "NAN", "inf", "-inf", "Infinity", "-Infinity", "1e999"]
+)
+def test_non_finite_numerics_rejected_at_parse(schema, spelling):
+    """``float("nan")`` must not slip through the parser — the error is
+    raised at the source and names the row and the attribute."""
+    with pytest.raises(ValueError, match=r"line 2, attribute 'F'.*non-finite"):
+        table_from_csv_text(schema, f"A,N,F,D\nx,1,{spelling},2000-01-02\n")
+
+
+def test_non_finite_error_names_the_right_line(schema):
+    text = "A,N,F,D\nx,1,0.5,2000-01-02\ny,2,inf,2000-01-03\n"
+    with pytest.raises(ValueError, match="line 3"):
+        table_from_csv_text(schema, text)
+
+
+def test_nan_spelling_is_a_legal_nominal_value():
+    from repro.schema import nominal as nominal_attr
+
+    schema = Schema([nominal_attr("W", ["nan", "inf", "x"])])
+    table = table_from_csv_text(schema, "W\nnan\ninf\n", validate=True)
+    assert table.column("W") == ["nan", "inf"]

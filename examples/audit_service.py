@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""The audit service daemon + model registry (paper sec. 2.2, as a service).
+
+The warehouse-loading split — *"the time-consuming structure induction
+can be prepared off-line, new data can be checked for deviations and
+loaded quickly"* — usually ends up spread over several machines: a
+nightly job that fits, and load jobs that check. The
+:mod:`repro.serve` daemon puts an HTTP API on that hand-over and the
+:mod:`repro.registry` store underneath it, so the two sides only share
+a model *name*:
+
+* the **offline** side POSTs ``/fit``: the service reads the training
+  table server-side (any ``repro.io`` location), induces the model, and
+  registers it as the next version of a name — content-addressed, with
+  provenance (schema hash, source, config, row count, fit time);
+* the **online** side POSTs ``/audit`` with the arriving rows and the
+  model reference (``quis``, ``quis@v1``, ``quis@prod``); findings
+  stream back as JSONL, **byte-identical** to ``repro audit --format
+  jsonl`` on the same model and table, with the summary in
+  ``X-Audit-*`` headers.
+
+This script plays both roles against an in-process daemon on an
+ephemeral port. Dates cross the wire as ISO strings (the JSONL
+convention); the registry directory is the only state on disk.
+
+Run with:  python examples/audit_service.py
+"""
+
+import datetime
+import json
+import random
+import tempfile
+import threading
+import urllib.request
+from pathlib import Path
+
+from repro import AuditSession, write_table
+from repro.quis import generate_clean_quis, generate_quis_sample
+from repro.schema.serialize import schema_to_dict
+from repro.serve import make_server
+
+
+def _post(url: str, payload: dict):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return dict(response.headers), response.read().decode("utf-8")
+
+
+def _get(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _wire_rows(table) -> list[dict]:
+    """Table records as JSON objects (dates become ISO strings)."""
+    return [
+        {
+            key: value.isoformat() if isinstance(value, datetime.date) else value
+            for key, value in record.to_dict().items()
+        }
+        for record in table.records()
+    ]
+
+
+def offline_fit_over_http(base: str, staging_dir: Path) -> None:
+    """Nightly job: hand the training location to the service."""
+    print("=== offline: structure induction via POST /fit ===")
+    sample = generate_quis_sample(10_000, seed=11, error_rate=0.002)
+    history = staging_dir / "history.csv"
+    write_table(sample.dirty, history)
+    print(f"  warehouse history staged at {history}")
+
+    _, body = _post(
+        f"{base}/fit",
+        {
+            "name": "quis",
+            "schema": schema_to_dict(sample.schema),
+            "source": str(history),
+            "config": {"min_error_confidence": 0.9},
+        },
+    )
+    version = json.loads(body)
+    print(
+        f"  registered {version['ref']} (digest {version['digest'][:12]}, "
+        f"fitted on {version['provenance']['n_rows']} rows in "
+        f"{version['provenance']['fit_seconds']:.1f}s)"
+    )
+
+    catalogue = _get(f"{base}/models")
+    for model in catalogue["models"]:
+        tags = ", ".join(sorted(model["tags"]))
+        print(f"  catalogue: {model['name']} ({model['versions']} version(s); {tags})")
+
+
+def online_check_over_http(base: str) -> set[int]:
+    """Load-time job: screen an arriving batch by model *name*."""
+    print("\n=== online: load screening via POST /audit ===")
+    rng = random.Random(99)
+    batch = generate_clean_quis(1_500, rng)
+    seeded = [17, 303, 1400]
+    batch.set_cell(17, "GBM", "936")        # engine code inconsistent with series
+    batch.set_cell(303, "HUBRAUM", 15900)   # displacement out of band
+    batch.set_cell(1400, "WERK", None)      # lost plant code
+
+    headers, body = _post(
+        f"{base}/audit", {"model": "quis", "rows": _wire_rows(batch)}
+    )
+    print(
+        f"  audited {headers['X-Audit-Rows']} records against "
+        f"{headers['X-Audit-Model']}: {headers['X-Audit-Findings']} findings, "
+        f"{headers['X-Audit-Suspicious']} suspicious"
+    )
+
+    findings = [json.loads(line) for line in body.splitlines()]
+    quarantine = {finding["row"] for finding in findings}
+    caught = sum(1 for row in seeded if row in quarantine)
+    print(
+        f"  loading {batch.n_rows - len(quarantine)} records, "
+        f"quarantining {len(quarantine)}"
+    )
+    print(f"  seeded errors caught: {caught}/{len(seeded)}")
+
+    # the same check in-process, straight from the registry: the service
+    # streamed exactly the findings the library computes
+    registry_dir = _get(f"{base}/healthz")["registry"]
+    session = AuditSession.load_from_registry(registry_dir, "quis@latest")
+    report = session.audit(batch)
+    identical = {f.row for f in report.findings} == quarantine
+    print(f"  HTTP findings identical to the in-process audit: {identical}")
+    return quarantine
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        staging = Path(tmp)
+        server = make_server(staging / "registry", port=0)  # ephemeral port
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        print(f"audit service listening on {base}\n")
+        try:
+            offline_fit_over_http(base, staging)
+            online_check_over_http(base)
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+        print("\naudit service stopped cleanly")
+
+
+if __name__ == "__main__":
+    main()

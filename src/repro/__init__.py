@@ -23,6 +23,13 @@ The package mirrors the paper's architecture:
   facade for the offline-fit / online-check warehouse-loading split
   (secs. 2.2, 5), and the multi-core executor
   (:mod:`repro.core.parallel`) behind every ``n_jobs=`` parameter;
+* :mod:`repro.registry` — the content-addressed, versioned on-disk
+  model registry: named model versions (``loads@v3``) with provenance
+  (schema hash, training source, config, fit time) behind the
+  offline-fit / online-check hand-over;
+* :mod:`repro.serve` — the long-running audit service daemon
+  (``repro serve``): a stdlib HTTP API to fit, list, and audit against
+  registry versions, streaming findings byte-identical to the CLI;
 * :mod:`repro.testenv` — the fig.-2 benchmark pipeline, sec.-4.3 metrics,
   figure sweeps, and the fig.-1 calibration loop;
 * :mod:`repro.quis` — the synthetic QUIS engine-composition case-study
@@ -115,6 +122,15 @@ from repro.io import (
     write_table,
 )
 from repro.quis import generate_quis_sample, quis_schema
+from repro.registry import (
+    ModelRegistry,
+    ModelVersion,
+    Provenance,
+    RegistryError,
+    model_digest,
+    schema_digest,
+)
+from repro.serve import AuditService, ServiceError, make_server, serve
 from repro.schema import (
     Attribute,
     AttributeKind,
@@ -146,7 +162,7 @@ from repro.testenv import (
     sweep_rules,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -245,6 +261,18 @@ __all__ = [
     "calibrate",
     "default_candidates",
     "evaluate_audit",
+    # model registry (repro.registry)
+    "ModelRegistry",
+    "ModelVersion",
+    "Provenance",
+    "RegistryError",
+    "model_digest",
+    "schema_digest",
+    # audit service (repro.serve)
+    "AuditService",
+    "ServiceError",
+    "make_server",
+    "serve",
     # QUIS case study
     "quis_schema",
     "generate_quis_sample",

@@ -8,9 +8,13 @@ format, JSON schemas / models / logs):
 ``schema``     write a schema JSON (the base-profile schema or the QUIS one)
 ``generate``   artificial rule-compliant data (sec. 4.1) → table (+ schema)
 ``pollute``    controlled corruption (sec. 4.2) → dirty table + ground-truth log
-``fit``        structure induction (sec. 5) → persisted model JSON
-``audit``      deviation detection → ranked findings (any format or stdout)
+``fit``        structure induction (sec. 5) → persisted model JSON and/or a
+               registry version (``--register NAME``)
+``audit``      deviation detection → ranked findings (any format or stdout);
+               ``--model`` takes a model file or a registry ref (``name@v3``)
 ``evaluate``   sec. 4.3 metrics of a model against a logged corruption
+``models``     the registry face: ``list`` / ``show`` / ``tag`` / ``rm``
+``serve``      the long-running audit daemon (HTTP fit/list/audit)
 =============  ================================================================
 
 Every table argument (``--input``, ``--output``, ``--out``, ``--clean``,
@@ -46,6 +50,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
+import os
 import random
 import sys
 from pathlib import Path
@@ -76,6 +82,25 @@ __all__ = ["main", "build_parser"]
 _FORMAT_NAMES = tuple(spec.name for spec in available_formats())
 #: findings formats that can be written to stdout (text streams)
 _STDOUT_FORMATS = ("jsonl",)
+#: environment fallback for every --registry flag
+_REGISTRY_ENV = "REPRO_REGISTRY"
+
+
+def _registry_default() -> Optional[str]:
+    return os.environ.get(_REGISTRY_ENV) or None
+
+
+def _open_registry(registry_dir: Optional[str], *, flag: str = "--registry"):
+    """A :class:`~repro.registry.ModelRegistry` for a CLI flag value, or a
+    clear error when neither the flag nor ``$REPRO_REGISTRY`` is set."""
+    from repro.registry import ModelRegistry
+
+    if not registry_dir:
+        raise SystemExit(
+            f"error: this command needs a model registry; pass {flag} DIR "
+            f"or set ${_REGISTRY_ENV}"
+        )
+    return ModelRegistry(registry_dir)
 
 
 def _resolve_format(location: str, override: Optional[str]) -> str:
@@ -190,11 +215,39 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="CSV text standing for null (default: empty field)",
     )
-    p_fit.add_argument("--model-out", required=True, type=Path)
+    p_fit.add_argument(
+        "--model-out",
+        type=Path,
+        help="write the fitted model to this JSON file "
+        "(and/or register it with --register)",
+    )
     p_fit.add_argument("--min-confidence", type=float, default=0.8)
+    p_fit.add_argument(
+        "--register",
+        metavar="NAME",
+        help="store the fitted model as the next version of NAME in the "
+        "registry (records provenance: schema hash, training source, "
+        "config, row count, fit time)",
+    )
+    p_fit.add_argument(
+        "--registry",
+        default=_registry_default(),
+        help=f"registry directory for --register (default: ${_REGISTRY_ENV})",
+    )
 
     p_audit = sub.add_parser("audit", help="detect deviations with a fitted model")
-    p_audit.add_argument("--model", required=True, type=Path)
+    p_audit.add_argument(
+        "--model",
+        required=True,
+        help="a model JSON file, or a registry reference such as "
+        "loads, loads@v3, loads@latest, or loads@<tag> (needs --registry)",
+    )
+    p_audit.add_argument(
+        "--registry",
+        default=_registry_default(),
+        help=f"registry directory for registry --model references "
+        f"(default: ${_REGISTRY_ENV})",
+    )
     p_audit.add_argument(
         "--input",
         required=True,
@@ -246,6 +299,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_evaluate.add_argument("--log", required=True, type=Path)
     p_evaluate.add_argument("--model", required=True, type=Path)
+
+    p_models = sub.add_parser(
+        "models", help="inspect and manage the versioned model registry"
+    )
+    p_models.add_argument(
+        "--registry",
+        default=_registry_default(),
+        help=f"registry directory (default: ${_REGISTRY_ENV})",
+    )
+    models_sub = p_models.add_subparsers(dest="models_command", required=True)
+    models_sub.add_parser("list", help="all registered names with versions/tags")
+    p_models_show = models_sub.add_parser(
+        "show", help="one resolved version with full provenance"
+    )
+    p_models_show.add_argument("ref", help="name, name@vN, name@latest, name@tag")
+    p_models_tag = models_sub.add_parser(
+        "tag", help="point a tag at a version (e.g. pin prod to loads@v3)"
+    )
+    p_models_tag.add_argument("ref", help="the version to tag (name[@ref])")
+    p_models_tag.add_argument("tag", help="the tag to (re)point")
+    p_models_rm = models_sub.add_parser(
+        "rm", help="remove one version (name@ref) or a whole name"
+    )
+    p_models_rm.add_argument("ref", help="name or name@ref to remove")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the long-running audit service daemon (HTTP)"
+    )
+    p_serve.add_argument(
+        "--registry",
+        default=_registry_default(),
+        help=f"model registry directory backing the service "
+        f"(default: ${_REGISTRY_ENV})",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8181,
+        help="listen port (0 picks an ephemeral port, printed at start-up)",
+    )
+    p_serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="default worker processes per audit request (requests may "
+        "override per call); 1 = serial, -1 = all cores",
+    )
 
     return parser
 
@@ -309,28 +410,69 @@ def _cmd_pollute(args: argparse.Namespace) -> int:
 
 
 def _cmd_fit(args: argparse.Namespace) -> int:
+    if args.model_out is None and args.register is None:
+        raise SystemExit(
+            "error: pass --model-out FILE, --register NAME, or both — "
+            "a fit with neither destination would be discarded"
+        )
     schema = _load_schema(args.schema)
     table = _read_input(schema, args.input, args.input_format, args.null_marker)
     auditor = DataAuditor(
         schema, AuditorConfig(min_error_confidence=args.min_confidence)
     )
     auditor.fit(table)
-    save_auditor(auditor, args.model_out)
-    print(
-        f"induced structure model from {table.n_rows} records "
-        f"in {auditor.fit_seconds:.1f}s → {args.model_out}"
-    )
+    if args.model_out is not None:
+        save_auditor(auditor, args.model_out)
+        print(
+            f"induced structure model from {table.n_rows} records "
+            f"in {auditor.fit_seconds:.1f}s → {args.model_out}"
+        )
+    if args.register is not None:
+        from repro.registry import Provenance, RegistryError
+
+        registry = _open_registry(args.registry)
+        try:
+            version = registry.put(
+                auditor,
+                args.register,
+                provenance=Provenance(
+                    source=str(args.input),
+                    source_format=_resolve_format(args.input, args.input_format),
+                    config={"min_error_confidence": args.min_confidence},
+                    n_rows=table.n_rows,
+                    fit_seconds=auditor.fit_seconds,
+                ),
+            )
+        except RegistryError as exc:
+            raise SystemExit(f"error: {exc}") from exc
+        print(
+            f"registered {version.ref} (digest {version.digest[:12]}) "
+            f"in {registry.root}"
+        )
     return 0
 
 
-def _load_model(path: Path) -> DataAuditor:
+def _load_model(path, registry_dir: Optional[str] = None) -> DataAuditor:
     """Load a persisted auditor, turning the many ways a model file can be
     broken (missing, not JSON, wrong format, truncated payload, unfitted)
     into one clear CLI error instead of a traceback. The translation
     itself lives in :meth:`AuditSession.load
     <repro.core.session.AuditSession.load>`, so parallel-mode model
-    configs get the same one-line errors everywhere."""
+    configs get the same one-line errors everywhere.
+
+    A *path* containing ``@`` is a registry reference (``name@v3``) and
+    resolves through the :mod:`repro.registry` store named by
+    *registry_dir* / ``$REPRO_REGISTRY``; a bare name also falls through
+    to the registry when it is not a file on disk but a registry is
+    configured."""
+    text = str(path)
+    use_registry = "@" in text or (
+        registry_dir is not None and not Path(text).exists()
+    )
     try:
+        if use_registry:
+            registry = _open_registry(registry_dir)
+            return AuditSession.load_from_registry(registry, text).auditor
         return AuditSession.load(path).auditor
     except ModelPersistenceError as exc:
         raise SystemExit(f"error: {exc}") from exc
@@ -367,7 +509,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
             f"error: --format {args.format} needs --findings-out "
             f"(only {', '.join(_STDOUT_FORMATS)} can stream to stdout)"
         )
-    auditor = _load_model(args.model)
+    auditor = _load_model(args.model, args.registry)
     quiet = args.format == "jsonl" and not args.findings_out
     if args.chunk_size is not None:
         # keep only the findings across chunks (the output), never the
@@ -426,6 +568,62 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_models(args: argparse.Namespace) -> int:
+    from repro.registry import RegistryError
+
+    registry = _open_registry(args.registry)
+    try:
+        if args.models_command == "list":
+            names = registry.list()
+            if not names:
+                print(f"registry {registry.root} holds no models")
+                return 0
+            print(f"{'NAME':20} {'VERSIONS':>8}  {'LATEST':24} TAGS")
+            for name in names:
+                versions = registry.versions(name)
+                latest = versions[-1]
+                tags = ", ".join(
+                    f"{t}→v{v}" for t, v in sorted(registry.tags(name).items())
+                )
+                print(
+                    f"{name:20} {len(versions):>8}  "
+                    f"{latest.digest[:12] + ' ' + latest.provenance.created_at:24} "
+                    f"{tags}"
+                )
+        elif args.models_command == "show":
+            version = registry.resolve(args.ref)
+            print(json.dumps(
+                {
+                    "name": version.name,
+                    "version": version.version,
+                    "ref": version.ref,
+                    "digest": version.digest,
+                    "provenance": version.provenance.to_dict(),
+                },
+                indent=2,
+            ))
+        elif args.models_command == "tag":
+            version = registry.tag(args.ref, args.tag)
+            print(f"tagged {version.ref} as {version.name}@{args.tag}")
+        elif args.models_command == "rm":
+            removed = registry.delete(args.ref)
+            print(f"removed {removed} version(s) of {args.ref}")
+    except RegistryError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import serve
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    registry = _open_registry(args.registry)
+    return serve(registry, args.host, args.port, n_jobs=args.jobs)
+
+
 _COMMANDS = {
     "schema": _cmd_schema,
     "generate": _cmd_generate,
@@ -433,13 +631,35 @@ _COMMANDS = {
     "fit": _cmd_fit,
     "audit": _cmd_audit,
     "evaluate": _cmd_evaluate,
+    "models": _cmd_models,
+    "serve": _cmd_serve,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Interactive failure modes exit cleanly instead of with a traceback:
+    Ctrl-C returns 130 (the shell convention for SIGINT) and a
+    downstream consumer closing the pipe early (``repro audit … |
+    head``) returns 0 — the truncation was the consumer's choice, not
+    an error.
+    """
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except BrokenPipeError:
+        # stdout is gone; stop Python's exit-time flush from raising a
+        # second (noisy) BrokenPipeError by pointing the fd at /dev/null
+        try:
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
+        except (OSError, ValueError, AttributeError):
+            pass  # stdout is not a real fd (test harness); nothing to silence
+        return 0
 
 
 if __name__ == "__main__":

@@ -19,6 +19,7 @@ raises ``TypeError``.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any, Mapping, Union
 
@@ -200,9 +201,28 @@ def auditor_from_dict(payload: Mapping[str, Any]) -> DataAuditor:
 
 
 def save_auditor(auditor: DataAuditor, path: Union[str, Path]) -> None:
-    """Persist a fitted auditor as JSON."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(auditor_to_dict(auditor), handle)
+    """Persist a fitted auditor as JSON, atomically.
+
+    The document is written to a sibling temp file and moved into place
+    with :func:`os.replace`, so a crash (or serialization error) mid-save
+    can never leave a truncated model at *path* — the online job either
+    finds the previous model intact or the complete new one.
+    """
+    path = Path(path)
+    payload = auditor_to_dict(auditor)  # serialize before touching disk
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def load_auditor(path: Union[str, Path]) -> DataAuditor:

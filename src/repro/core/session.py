@@ -188,6 +188,52 @@ class AuditSession:
             )
         return cls(auditor=auditor)
 
+    # -- registry hand-over (named, versioned models) ------------------------
+
+    def save_to_registry(self, registry, name: str, *, provenance=None):
+        """Register the fitted model as the next version of *name* in a
+        :class:`~repro.registry.ModelRegistry` (or a directory path).
+
+        The versioned counterpart of :meth:`save`: the model is stored
+        content-addressed with a provenance record (schema hash filled
+        in by the registry; pass a
+        :class:`~repro.registry.Provenance` to record the training
+        source, row count, and fit time). Returns the new
+        :class:`~repro.registry.ModelVersion` — pin its ``.ref``
+        (``name@vN``) in the online job. Raises
+        :class:`ModelPersistenceError` on failure, like :meth:`save`.
+        """
+        from repro.registry import ModelRegistry, RegistryError
+
+        if not self.is_fitted:
+            raise ModelPersistenceError(
+                f"cannot register an unfitted session as {name!r}; call fit() first"
+            )
+        if not isinstance(registry, ModelRegistry):
+            registry = ModelRegistry(registry)
+        try:
+            return registry.put(self.auditor, name, provenance=provenance)
+        except RegistryError as exc:
+            raise ModelPersistenceError(str(exc)) from exc
+
+    @classmethod
+    def load_from_registry(cls, registry, ref: str) -> "AuditSession":
+        """Resume a session from a registry reference (``name``,
+        ``name@v3``, ``name@latest``, a tag, or a digest prefix).
+
+        *registry* is a :class:`~repro.registry.ModelRegistry` or a
+        directory path. Raises :class:`ModelPersistenceError` for an
+        unknown name/reference or a corrupt stored model.
+        """
+        from repro.registry import ModelRegistry, RegistryError
+
+        if not isinstance(registry, ModelRegistry):
+            registry = ModelRegistry(registry)
+        try:
+            return cls(auditor=registry.get(ref))
+        except RegistryError as exc:
+            raise ModelPersistenceError(str(exc)) from exc
+
     # -- online: deviation detection ----------------------------------------
 
     def audit(self, table: Table, *, n_jobs: Optional[int] = None) -> AuditReport:

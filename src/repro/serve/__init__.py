@@ -1,0 +1,20 @@
+"""The long-running audit service (``repro serve``).
+
+The step from tool to service (paper sec. 2.2's warehouse embedding,
+run as a daemon): a stdlib-only HTTP API to fit, list, and audit
+against named model versions stored in a
+:class:`~repro.registry.ModelRegistry`. The request semantics live in
+:class:`~repro.serve.service.AuditService` (transport-free, directly
+embeddable); the HTTP daemon in :mod:`repro.serve.http`.
+"""
+
+from repro.serve.http import AuditRequestHandler, make_server, serve
+from repro.serve.service import AuditService, ServiceError
+
+__all__ = [
+    "AuditService",
+    "ServiceError",
+    "AuditRequestHandler",
+    "make_server",
+    "serve",
+]

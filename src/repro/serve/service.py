@@ -1,0 +1,327 @@
+"""The audit service's request handlers, independent of the transport.
+
+:class:`AuditService` is the daemon's brain: it owns the
+:class:`~repro.registry.ModelRegistry`, a digest-keyed cache of loaded
+models, and the request semantics of every endpoint — the HTTP layer
+(:mod:`repro.serve.http`) only moves bytes. Keeping the two apart means
+the endpoint contracts are unit-testable without sockets, and an
+embedding application (a loader process, a scheduler) can call the
+handlers directly.
+
+The one invariant worth stating twice: **the findings a** ``POST
+/audit`` **streams are byte-identical to** ``repro audit --format
+jsonl`` **on the same model and table.** Both paths collect the
+findings, sort them by ``(-confidence, row, attribute)`` (the order
+:class:`~repro.core.findings.AuditReport` guarantees), shape them
+through :func:`~repro.core.findings.findings_to_table`, and write them
+through the same :class:`~repro.io.jsonl_backend.JsonlTableSink`. A
+warehouse can therefore swap the CLI for the service (or back) without
+re-baselining a single downstream parser.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from typing import Any, Iterator, Mapping, Optional
+
+from repro.core.auditor import AuditorConfig, DataAuditor
+from repro.core.findings import Finding, findings_to_table
+from repro.core.session import AuditSession
+from repro.io.base import DEFAULT_CHUNK_SIZE
+from repro.io.jsonl_backend import JsonlTableSink, JsonlTableSource
+from repro.io.registry import open_source
+from repro.registry import ModelRegistry, Provenance, RegistryError
+from repro.schema.serialize import schema_from_dict
+from repro.schema.table import Table
+
+__all__ = ["ServiceError", "AuditService"]
+
+#: findings per streamed response chunk — small enough to flush early,
+#: large enough to amortize the write syscalls
+_STREAM_BATCH = 512
+
+
+class ServiceError(Exception):
+    """A request failed; carries the HTTP status the transport should send."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+def _require(payload: Mapping[str, Any], key: str) -> Any:
+    try:
+        return payload[key]
+    except KeyError:
+        raise ServiceError(400, f"request body is missing the {key!r} field")
+
+
+def _parse_config(payload: Optional[Mapping[str, Any]]) -> AuditorConfig:
+    """Build an :class:`AuditorConfig` from the JSON ``config`` object of
+    a fit request (scalar knobs only — factories stay server-side)."""
+    if payload is None:
+        return AuditorConfig()
+    allowed = {
+        "min_error_confidence",
+        "n_bins",
+        "base_attributes",
+        "audited_attributes",
+        "n_jobs",
+    }
+    unknown = sorted(set(payload) - allowed)
+    if unknown:
+        raise ServiceError(
+            400,
+            f"unknown config fields {unknown!r} "
+            f"(allowed: {', '.join(sorted(allowed))})",
+        )
+    try:
+        return AuditorConfig(**dict(payload))
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(400, f"invalid auditor config: {exc}")
+
+
+def _version_json(version) -> dict[str, Any]:
+    return {
+        "name": version.name,
+        "version": version.version,
+        "ref": version.ref,
+        "digest": version.digest,
+        "provenance": version.provenance.to_dict(),
+    }
+
+
+class AuditService:
+    """Endpoint semantics of the audit daemon (see module docstring).
+
+    Thread-safe: handlers may run concurrently (the HTTP layer runs one
+    thread per request); the model cache is locked, the registry's own
+    reader paths are lock-free, and its writer paths take the registry
+    lockfile.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        *,
+        n_jobs: int = 1,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ):
+        self.registry = registry
+        self.n_jobs = n_jobs
+        self.chunk_size = chunk_size
+        self.started_at = time.time()
+        self.requests_served = 0
+        self._cache_lock = threading.Lock()
+        #: digest → loaded auditor; content addressing makes entries
+        #: permanently valid (an object never changes under its digest)
+        self._model_cache: dict[str, DataAuditor] = {}
+
+    # -- GET /healthz --------------------------------------------------------
+
+    def healthz(self) -> dict[str, Any]:
+        return {
+            "status": "ok",
+            "registry": str(self.registry.root),
+            "models": len(self.registry.list()),
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "requests_served": self.requests_served,
+            "n_jobs": self.n_jobs,
+        }
+
+    # -- GET /models and /models/{ref} --------------------------------------
+
+    def list_models(self) -> dict[str, Any]:
+        models = []
+        for name in self.registry.list():
+            versions = self.registry.versions(name)
+            models.append(
+                {
+                    "name": name,
+                    "versions": len(versions),
+                    "tags": self.registry.tags(name),
+                    "latest": _version_json(versions[-1]),
+                }
+            )
+        return {"models": models}
+
+    def show_model(self, ref: str) -> dict[str, Any]:
+        try:
+            return _version_json(self.registry.resolve(ref))
+        except RegistryError as exc:
+            raise ServiceError(404, str(exc))
+
+    # -- POST /fit -----------------------------------------------------------
+
+    def fit(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Fit from a ``repro.io`` source and register the model.
+
+        Body: ``{"name": str, "schema": {...}, "source": location,
+        "format": optional registry format, "config": optional scalar
+        AuditorConfig fields}``. Returns the stored version record.
+        """
+        name = _require(payload, "name")
+        source_uri = _require(payload, "source")
+        try:
+            schema = schema_from_dict(_require(payload, "schema"))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(400, f"invalid schema: {exc}")
+        config = _parse_config(payload.get("config"))
+        try:
+            auditor = DataAuditor(schema, config)
+        except ValueError as exc:
+            raise ServiceError(400, str(exc))
+        fmt = payload.get("format")
+        try:
+            with open_source(schema, source_uri, format=fmt) as source:
+                table = source.read()
+        except (OSError, ValueError) as exc:
+            raise ServiceError(400, f"cannot read source {source_uri!r}: {exc}")
+        auditor.fit(table)
+        try:
+            version = self.registry.put(
+                auditor,
+                name,
+                provenance=Provenance(
+                    source=str(source_uri),
+                    source_format=fmt,
+                    config=_config_json(config),
+                    n_rows=table.n_rows,
+                    fit_seconds=auditor.fit_seconds,
+                ),
+            )
+        except RegistryError as exc:
+            raise ServiceError(500, str(exc))
+        with self._cache_lock:
+            self._model_cache[version.digest] = auditor
+        return _version_json(version)
+
+    # -- POST /audit ---------------------------------------------------------
+
+    def _load_model(self, ref: str) -> DataAuditor:
+        try:
+            version = self.registry.resolve(ref)
+        except RegistryError as exc:
+            raise ServiceError(404, str(exc))
+        with self._cache_lock:
+            cached = self._model_cache.get(version.digest)
+        if cached is not None:
+            return cached
+        try:
+            auditor = self.registry.get_version(version)
+        except RegistryError as exc:
+            raise ServiceError(500, str(exc))
+        with self._cache_lock:
+            self._model_cache[version.digest] = auditor
+        return auditor
+
+    def _table_from_rows(self, auditor: DataAuditor, rows: list) -> Table:
+        """Parse an inline ``rows`` payload through the JSONL backend, so
+        inline audits get the same strict schema-driven coercion (and
+        the same error messages) as stored tables."""
+        if not isinstance(rows, list):
+            raise ServiceError(400, "'rows' must be a list of JSON objects")
+        buffer = io.StringIO(
+            "".join(json.dumps(row, allow_nan=False) + "\n" for row in rows)
+        )
+        source = JsonlTableSource(auditor.schema, buffer)
+        try:
+            return source.read()
+        except ValueError as exc:
+            raise ServiceError(400, f"invalid rows payload: {exc}")
+        finally:
+            source.close()
+
+    def audit(self, payload: Mapping[str, Any]) -> tuple[dict[str, Any], Iterator[str]]:
+        """Audit a stored table or an inline row payload.
+
+        Body: ``{"model": "name[@ref]"}`` plus exactly one of
+        ``"source"`` (a server-side ``repro.io`` location, optionally
+        with ``"format"``) or ``"rows"`` (inline JSON objects);
+        optional ``"jobs"`` and ``"chunk_size"`` override the daemon
+        defaults. Returns ``(summary headers, JSONL line stream)`` —
+        the stream is byte-identical to the CLI's
+        ``repro audit --format jsonl`` on the same model and table.
+        """
+        ref = _require(payload, "model")
+        auditor = self._load_model(ref)
+        session = AuditSession(auditor=auditor)
+        jobs = payload.get("jobs", self.n_jobs)
+        chunk_size = payload.get("chunk_size", self.chunk_size)
+        if not isinstance(chunk_size, int) or chunk_size < 1:
+            raise ServiceError(400, "'chunk_size' must be a positive integer")
+        has_source = "source" in payload
+        has_rows = "rows" in payload
+        if has_source == has_rows:
+            raise ServiceError(
+                400, "pass exactly one of 'source' (a location) or 'rows' (inline)"
+            )
+        findings: list[Finding] = []
+        n_rows = 0
+        if has_rows:
+            table = self._table_from_rows(auditor, payload["rows"])
+            report = session.audit(table, n_jobs=jobs)
+            findings = report.findings  # already (-confidence, row, attribute)
+            n_rows = report.n_rows
+        else:
+            try:
+                reports = session.audit_source(
+                    payload["source"],
+                    chunk_size=chunk_size,
+                    n_jobs=jobs,
+                )
+                for report in reports:
+                    findings.extend(report.findings)
+                    n_rows += report.n_rows
+            except (OSError, ValueError) as exc:
+                raise ServiceError(
+                    400, f"cannot audit source {payload['source']!r}: {exc}"
+                )
+            # the CLI's chunked path re-sorts globally; match it exactly
+            findings.sort(key=lambda f: (-f.confidence, f.row, f.attribute))
+        summary = {
+            "model": self.registry.resolve(ref).ref,
+            "rows": n_rows,
+            "findings": len(findings),
+            "suspicious": len({f.row for f in findings}),
+        }
+        return summary, _findings_jsonl(findings)
+
+    def mark_request(self) -> None:
+        """Count one served request (called by the transport)."""
+        self.requests_served += 1
+
+
+def _config_json(config: AuditorConfig) -> dict[str, Any]:
+    """The provenance form of an auditor config (scalar knobs only)."""
+    return {
+        "min_error_confidence": config.min_error_confidence,
+        "n_bins": config.n_bins,
+        "base_attributes": {k: list(v) for k, v in config.base_attributes.items()},
+        "audited_attributes": (
+            list(config.audited_attributes)
+            if config.audited_attributes is not None
+            else None
+        ),
+        "n_jobs": config.n_jobs,
+    }
+
+
+def _findings_jsonl(findings: list[Finding]) -> Iterator[str]:
+    """Render findings as the CLI's JSONL byte stream, in bounded batches.
+
+    One code path with ``repro audit --format jsonl``:
+    :func:`findings_to_table` + :class:`JsonlTableSink`, just aimed at a
+    string buffer per batch instead of stdout.
+    """
+    table = findings_to_table(findings)
+    for start in range(0, max(len(table.rows), 1), _STREAM_BATCH):
+        batch = Table(table.schema)
+        batch.rows = table.rows[start : start + _STREAM_BATCH]
+        buffer = io.StringIO()
+        with JsonlTableSink(table.schema, buffer) as sink:
+            sink.write(batch)
+        yield buffer.getvalue()

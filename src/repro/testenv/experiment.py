@@ -52,6 +52,16 @@ class ExperimentConfig:
     #: results are bit-identical across job counts, so sweeps may choose
     #: whatever the machine affords
     n_jobs: int = 1
+    #: model-registry directory for the two pinning knobs below
+    #: (:class:`~repro.registry.ModelRegistry` root or path)
+    registry_dir: Optional[str] = None
+    #: skip structure induction and audit with this pinned registry
+    #: version (``name``, ``name@v3``, ``name@tag``) — how a benchmark
+    #: reruns against the *exact* model an earlier run produced
+    model_ref: Optional[str] = None
+    #: after fitting, register the model under this name (the next
+    #: version), so the run's model is pinnable by later experiments
+    register_model_as: Optional[str] = None
 
     def describe(self) -> str:
         return (
@@ -139,10 +149,39 @@ class TestEnvironment:
         dirty, log = pipeline.apply(clean, random.Random(config.pollution_seed))
         pollute_seconds = time.perf_counter() - started
 
-        session = AuditSession(profile.schema, config.auditor)
-        started = time.perf_counter()
-        session.fit(dirty)
-        fit_seconds = time.perf_counter() - started
+        if config.model_ref is not None:
+            # pinned model: reuse the registry version instead of refitting —
+            # the experiment then measures the audit of *that* model
+            if config.registry_dir is None:
+                raise ValueError("model_ref requires registry_dir")
+            session = AuditSession.load_from_registry(
+                config.registry_dir, config.model_ref
+            )
+            if session.schema != profile.schema:
+                raise ValueError(
+                    f"pinned model {config.model_ref!r} was induced for a "
+                    f"different schema than this experiment's profile"
+                )
+            fit_seconds = 0.0
+        else:
+            session = AuditSession(profile.schema, config.auditor)
+            started = time.perf_counter()
+            session.fit(dirty)
+            fit_seconds = time.perf_counter() - started
+            if config.register_model_as is not None:
+                if config.registry_dir is None:
+                    raise ValueError("register_model_as requires registry_dir")
+                from repro.registry import Provenance
+
+                session.save_to_registry(
+                    config.registry_dir,
+                    config.register_model_as,
+                    provenance=Provenance(
+                        source=f"testenv://experiment/{config.describe()}",
+                        n_rows=dirty.n_rows,
+                        fit_seconds=fit_seconds,
+                    ),
+                )
 
         started = time.perf_counter()
         report = session.audit(dirty, n_jobs=config.n_jobs)

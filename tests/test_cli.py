@@ -650,3 +650,195 @@ class TestStorageBackends:
                     "sqlite",
                 ]
             )
+
+
+class TestModelRegistryCli:
+    """The registry-facing commands: fit --register, audit by reference,
+    and the models list/show/tag/rm family."""
+
+    @pytest.fixture(autouse=True)
+    def _no_registry_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REGISTRY", raising=False)
+
+    def _register(self, workspace, registry, extra=()):
+        return main(
+            [
+                "fit",
+                "--schema",
+                str(workspace["schema"]),
+                "--input",
+                str(workspace["dirty"]),
+                "--register",
+                "loads",
+                "--registry",
+                str(registry),
+            ]
+            + list(extra)
+        )
+
+    def test_fit_without_a_destination_rejected(self, workspace):
+        _generate(workspace)
+        with pytest.raises(SystemExit, match="neither destination"):
+            main(
+                [
+                    "fit",
+                    "--schema",
+                    str(workspace["schema"]),
+                    "--input",
+                    str(workspace["clean"]),
+                ]
+            )
+
+    def test_register_records_provenance(self, workspace, tmp_path, capsys):
+        _fitted_workspace(workspace)
+        registry = tmp_path / "registry"
+        assert self._register(workspace, registry) == 0
+        assert "registered loads@v1" in capsys.readouterr().out
+        assert main(["models", "--registry", str(registry), "show", "loads@v1"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ref"] == "loads@v1"
+        provenance = payload["provenance"]
+        assert provenance["source"] == str(workspace["dirty"])
+        assert provenance["source_format"] == "csv"
+        assert provenance["schema_hash"] and provenance["created_at"]
+        assert provenance["n_rows"] >= 600  # pollution may duplicate rows
+        assert provenance["config"] == {"min_error_confidence": 0.8}
+
+    def test_models_list_tag_rm(self, workspace, tmp_path, capsys):
+        _fitted_workspace(workspace)
+        registry = tmp_path / "registry"
+        assert self._register(workspace, registry) == 0
+        assert self._register(workspace, registry) == 0  # → loads@v2
+        assert main(["models", "--registry", str(registry), "tag", "loads@v1", "prod"]) == 0
+        capsys.readouterr()
+        assert main(["models", "--registry", str(registry), "list"]) == 0
+        listing = capsys.readouterr().out
+        assert "loads" in listing and "latest→v2" in listing and "prod→v1" in listing
+        assert main(["models", "--registry", str(registry), "rm", "loads@v2"]) == 0
+        capsys.readouterr()
+        # the tag pin survives the rm; latest falls back to the survivor
+        assert main(["models", "--registry", str(registry), "show", "loads@prod"]) == 0
+        assert json.loads(capsys.readouterr().out)["version"] == 1
+        with pytest.raises(SystemExit, match="error: cannot resolve"):
+            main(["models", "--registry", str(registry), "show", "loads@v2"])
+
+    def test_audit_by_reference_matches_model_file(self, workspace, tmp_path, capsys):
+        """The acceptance bar: `--model loads@latest --registry R` must be
+        byte-identical to `--model model.json` on the same input."""
+        _fitted_workspace(workspace)
+        registry = tmp_path / "registry"
+        assert self._register(workspace, registry) == 0
+
+        def audit_jsonl(model, extra=()):
+            capsys.readouterr()
+            assert (
+                main(
+                    [
+                        "audit",
+                        "--model",
+                        str(model),
+                        "--input",
+                        str(workspace["dirty"]),
+                        "--format",
+                        "jsonl",
+                    ]
+                    + list(extra)
+                )
+                == 0
+            )
+            return capsys.readouterr().out
+
+        baseline = audit_jsonl(workspace["model"])
+        assert baseline
+        by_ref = audit_jsonl("loads@latest", ["--registry", str(registry)])
+        assert by_ref == baseline
+
+    def test_registry_env_var_fallback(self, workspace, tmp_path, monkeypatch, capsys):
+        _fitted_workspace(workspace)
+        monkeypatch.setenv("REPRO_REGISTRY", str(tmp_path / "registry"))
+        assert (
+            main(
+                [
+                    "fit",
+                    "--schema",
+                    str(workspace["schema"]),
+                    "--input",
+                    str(workspace["dirty"]),
+                    "--register",
+                    "loads",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["models", "list"]) == 0
+        assert "loads" in capsys.readouterr().out
+
+    def test_registry_commands_without_registry_rejected(self):
+        with pytest.raises(SystemExit, match=r"\$REPRO_REGISTRY"):
+            main(["models", "list"])
+
+    def test_missing_reference_gives_clear_error(self, workspace, tmp_path):
+        _fitted_workspace(workspace)
+        with pytest.raises(SystemExit, match="error: no model named"):
+            main(
+                [
+                    "audit",
+                    "--model",
+                    "ghost@v1",
+                    "--registry",
+                    str(tmp_path / "registry"),
+                    "--input",
+                    str(workspace["dirty"]),
+                ]
+            )
+
+
+class TestInterruptExits:
+    """Interactive failure modes must exit cleanly: Ctrl-C → 130,
+    a consumer closing the pipe early → 0, never a traceback."""
+
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(cli._COMMANDS, "schema", interrupted)
+        assert main(["schema", "--kind", "base", "--out", "/dev/null"]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_broken_pipe_exits_0(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        def pipe_gone(args):
+            raise BrokenPipeError
+
+        monkeypatch.setitem(cli._COMMANDS, "schema", pipe_gone)
+        assert main(["schema", "--kind", "base", "--out", "/dev/null"]) == 0
+
+    def test_shell_pipeline_truncation_is_clean(self, workspace, tmp_path):
+        """`repro audit … --format jsonl | head -1` must leave exit 0 on
+        the repro side of the pipe (pipefail makes a nonzero exit fatal)."""
+        import os
+        import subprocess
+        import sys
+
+        _fitted_workspace(workspace)
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        command = (
+            "set -o pipefail; "
+            f"{sys.executable} -m repro audit --model {workspace['model']} "
+            f"--input {workspace['dirty']} --format jsonl | head -n 1"
+        )
+        proc = subprocess.run(
+            ["bash", "-c", command],
+            cwd=repo,
+            env=dict(os.environ, PYTHONPATH="src"),
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.count("\n") == 1  # head got its line
+        assert "Traceback" not in proc.stderr

@@ -18,6 +18,7 @@ from repro.core import (
     AuditReport,
     AuditSession,
     DataAuditor,
+    ModelPersistenceError,
 )
 from repro.mining.base import AttributeClassifier
 from repro.mining.tree_classifier import TreeClassifier
@@ -183,6 +184,56 @@ class TestPersistence:
         resumed = AuditSession.load(path)
         assert resumed.is_fitted
         _assert_reports_equal(resumed.audit(table), session.audit(table))
+
+    def test_save_leaves_no_temp_files(self, session, tmp_path):
+        session.save(tmp_path / "model.json")
+        assert [p.name for p in tmp_path.iterdir()] == ["model.json"]
+
+    def test_crash_mid_save_keeps_previous_model_intact(
+        self, session, table, tmp_path, monkeypatch
+    ):
+        """Atomicity contract of save(): a process killed between the
+        temp-file write and the rename must leave the previous model
+        byte-identical and no truncated/temp files behind — the online
+        job never loads half a model."""
+        import repro.core.serialize as serialize
+
+        path = tmp_path / "model.json"
+        session.save(path)
+        before = path.read_bytes()
+
+        def killed_before_rename(src, dst):
+            raise KeyboardInterrupt  # the SIGINT arrives exactly here
+
+        monkeypatch.setattr(serialize.os, "replace", killed_before_rename)
+        with pytest.raises(KeyboardInterrupt):
+            session.save(path)
+        monkeypatch.undo()
+
+        assert path.read_bytes() == before  # old model untouched …
+        assert [p.name for p in tmp_path.iterdir()] == ["model.json"]  # … no debris
+        resumed = AuditSession.load(path)
+        _assert_reports_equal(resumed.audit(table), session.audit(table))
+
+    def test_crash_mid_write_never_truncates(self, session, tmp_path, monkeypatch):
+        """Same contract one step earlier: dying while the temp file is
+        being written must not touch the published model either."""
+        import repro.core.serialize as serialize
+
+        path = tmp_path / "model.json"
+        session.save(path)
+        before = path.read_bytes()
+
+        def disk_full(fd):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(serialize.os, "fsync", disk_full)
+        with pytest.raises(ModelPersistenceError, match="No space left"):
+            session.save(path)
+        monkeypatch.undo()
+
+        assert path.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["model.json"]
 
 
 class _RowLoopTree(TreeClassifier):

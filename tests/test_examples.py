@@ -54,3 +54,11 @@ def test_interactive_review():
     assert "queued for review" in output
     assert "reviewed" in output
     assert "canonical record now reads GBM = '901'" in output
+
+
+def test_audit_service():
+    output = _run("audit_service.py")
+    assert "registered quis@v1" in output
+    assert "seeded errors caught: 3/3" in output
+    assert "HTTP findings identical to the in-process audit: True" in output
+    assert "audit service stopped cleanly" in output

@@ -124,3 +124,70 @@ class TestCalibration:
         candidates = [Candidate("only", AuditorConfig())]
         (outcome,) = calibrate(candidates, base=SMALL)
         assert "only" in outcome.summary()
+
+
+class TestModelPinning:
+    """Registering an experiment's model and re-running against the
+    pinned registry version (the reproducibility hand-over)."""
+
+    def test_register_then_pin_reproduces_the_audit(self, tmp_path):
+        env = TestEnvironment()
+        registered = env.run(
+            dataclasses.replace(
+                SMALL,
+                registry_dir=str(tmp_path / "registry"),
+                register_model_as="bench",
+            )
+        )
+        pinned = env.run(
+            dataclasses.replace(
+                SMALL,
+                registry_dir=str(tmp_path / "registry"),
+                model_ref="bench@v1",
+            )
+        )
+        # same data + the exact registered model → the identical audit
+        assert pinned.fit_seconds == 0.0
+        assert pinned.report.findings == registered.report.findings
+        assert pinned.evaluation.sensitivity == registered.evaluation.sensitivity
+
+    def test_registered_provenance_names_the_experiment(self, tmp_path):
+        from repro.registry import ModelRegistry
+
+        TestEnvironment().run(
+            dataclasses.replace(
+                SMALL,
+                registry_dir=str(tmp_path / "registry"),
+                register_model_as="bench",
+            )
+        )
+        version = ModelRegistry(tmp_path / "registry").resolve("bench@latest")
+        assert version.provenance.source.startswith("testenv://experiment/")
+        assert version.provenance.schema_hash
+        assert version.provenance.n_rows and version.provenance.fit_seconds
+
+    def test_pinning_requires_a_registry(self):
+        with pytest.raises(ValueError, match="registry_dir"):
+            TestEnvironment().run(dataclasses.replace(SMALL, model_ref="bench"))
+        with pytest.raises(ValueError, match="registry_dir"):
+            TestEnvironment().run(
+                dataclasses.replace(SMALL, register_model_as="bench")
+            )
+
+    def test_pinned_model_must_match_the_profile_schema(self, tmp_path):
+        from repro.core import AuditSession
+        from repro.schema import Schema, Table, nominal
+
+        schema = Schema([nominal("X", ["p", "q"])])
+        other = AuditSession(schema).fit(
+            Table(schema, [["p"]] * 40 + [["q"]] * 40)
+        )
+        other.save_to_registry(tmp_path / "registry", "alien")
+        with pytest.raises(ValueError, match="different schema"):
+            TestEnvironment().run(
+                dataclasses.replace(
+                    SMALL,
+                    registry_dir=str(tmp_path / "registry"),
+                    model_ref="alien",
+                )
+            )

@@ -14,7 +14,9 @@ format, JSON schemas / models / logs):
                ``--model`` takes a model file or a registry ref (``name@v3``)
 ``evaluate``   sec. 4.3 metrics of a model against a logged corruption
 ``models``     the registry face: ``list`` / ``show`` / ``tag`` / ``rm``
-``serve``      the long-running audit daemon (HTTP fit/list/audit)
+``monitor``    continuous auditing of a growing table: tail + windowed audits
+               with durable watermarks, drift detection, optional auto-refit
+``serve``      the long-running audit daemon (HTTP fit/list/audit/monitors)
 =============  ================================================================
 
 Every table argument (``--input``, ``--output``, ``--out``, ``--clean``,
@@ -324,6 +326,118 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_models_rm.add_argument("ref", help="name or name@ref to remove")
 
+    p_monitor = sub.add_parser(
+        "monitor", help="continuously audit a growing table (tail + drift + refit)"
+    )
+    p_monitor.add_argument(
+        "source",
+        help="growing table to tail: a CSV/JSONL path being appended to, a "
+        "SQLite database, or sqlite:///wh.db?table=loads",
+    )
+    p_monitor.add_argument(
+        "--model",
+        required=True,
+        help="a model JSON file or a registry reference (name@v3, name@latest)",
+    )
+    p_monitor.add_argument(
+        "--registry",
+        default=_registry_default(),
+        help=f"registry directory for registry --model references and "
+        f"--refit auto (default: ${_REGISTRY_ENV})",
+    )
+    p_monitor.add_argument(
+        "--input-format",
+        choices=("csv", "jsonl", "sqlite"),
+        help="force the source format instead of inferring it",
+    )
+    p_monitor.add_argument(
+        "--null-marker",
+        default="",
+        help="CSV text standing for null (default: empty field)",
+    )
+    p_monitor.add_argument(
+        "--state",
+        type=Path,
+        help="watermark state file; resuming with the same --state continues "
+        "exactly where the previous run stopped "
+        "(default: FINDINGS_OUT + '.state')",
+    )
+    p_monitor.add_argument(
+        "--findings-out",
+        type=Path,
+        help="durable findings JSONL, appended window by window "
+        "(default: SOURCE + '.findings.jsonl'; required for sqlite sources)",
+    )
+    p_monitor.add_argument(
+        "--ranked-out",
+        help="after a catch-up run, also write the globally ranked findings "
+        "(any format) — byte-identical to 'repro audit' of the same rows",
+    )
+    p_monitor.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep polling for appended rows until SIGTERM/Ctrl-C "
+        "(default: catch up with the source and exit)",
+    )
+    p_monitor.add_argument("--poll-interval", type=float, default=1.0)
+    p_monitor.add_argument(
+        "--window-rows",
+        type=int,
+        default=256,
+        help="rows per audit window — the commit/drift granularity "
+        "(default 256)",
+    )
+    p_monitor.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes per window audit (default 1 = serial)",
+    )
+    p_monitor.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=0.0,
+        help="extra Wilson-interval separation (in finding-rate units) a "
+        "window must show before it counts as drifted (default 0)",
+    )
+    p_monitor.add_argument(
+        "--drift-confidence",
+        type=float,
+        default=0.95,
+        help="confidence level of the drift intervals (default 0.95)",
+    )
+    p_monitor.add_argument(
+        "--baseline-windows",
+        type=int,
+        default=3,
+        help="windows that establish the per-attribute baseline rate",
+    )
+    p_monitor.add_argument(
+        "--sustain-windows",
+        type=int,
+        default=2,
+        help="consecutive drifted windows before the drift event fires",
+    )
+    p_monitor.add_argument(
+        "--refit",
+        choices=("off", "recommend", "auto"),
+        default="off",
+        help="response to sustained drift: log only, record a recommendation, "
+        "or refit on recent rows and register the new version (moves "
+        "@latest; needs --registry and a registry --model or --refit-name)",
+    )
+    p_monitor.add_argument(
+        "--refit-name",
+        help="registry name auto-refits register under "
+        "(default: the name part of a registry --model reference)",
+    )
+    p_monitor.add_argument(
+        "--refit-rows",
+        type=int,
+        default=4096,
+        help="recent rows buffered as the auto-refit training set",
+    )
+
     p_serve = sub.add_parser(
         "serve", help="run the long-running audit service daemon (HTTP)"
     )
@@ -613,6 +727,129 @@ def _cmd_models(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.monitor.drift import DriftConfig
+    from repro.monitor.refit import RefitPolicy
+    from repro.registry import RegistryError
+
+    # findings JSONL and stdout are the output; progress and drift events
+    # go to stderr through the repro.monitor logger
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+
+    # resolve the model — a registry reference also names the default
+    # refit target and the concrete version recorded in the watermark
+    text = str(args.model)
+    use_registry = "@" in text or (
+        args.registry is not None and not Path(text).exists()
+    )
+    registry = None
+    model_name = None
+    try:
+        if use_registry:
+            registry = _open_registry(args.registry)
+            version = registry.resolve(text)
+            session = AuditSession(auditor=registry.get_version(version))
+            model_ref = version.ref
+            model_name = version.name
+        else:
+            session = AuditSession.load(args.model)
+            model_ref = text
+    except (ModelPersistenceError, RegistryError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+
+    findings_path = args.findings_out
+    if findings_path is None:
+        if str(args.source).startswith("sqlite:") or args.input_format == "sqlite":
+            raise SystemExit(
+                "error: --findings-out is required for SQLite sources "
+                "(there is no file path to derive it from)"
+            )
+        findings_path = Path(str(args.source) + ".findings.jsonl")
+    state_path = args.state or Path(str(findings_path) + ".state")
+
+    try:
+        drift = DriftConfig(
+            confidence=args.drift_confidence,
+            threshold=args.drift_threshold,
+            baseline_windows=args.baseline_windows,
+            sustain_windows=args.sustain_windows,
+        )
+        if args.refit == "auto" and registry is None:
+            registry = _open_registry(args.registry)
+        refit_name = args.refit_name or model_name
+        if args.refit == "auto" and not refit_name:
+            raise SystemExit(
+                "error: --refit auto needs --refit-name (or a registry "
+                "--model reference to take the name from)"
+            )
+        refit = RefitPolicy(
+            args.refit,
+            registry=registry if args.refit == "auto" else None,
+            model_name=refit_name,
+            refit_rows=args.refit_rows,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+
+    def _emit(text_block: str) -> None:
+        sys.stdout.write(text_block)
+        sys.stdout.flush()
+
+    try:
+        watcher = session.monitor(
+            args.source,
+            state_path=state_path,
+            findings_path=findings_path,
+            format=args.input_format,
+            null_marker=args.null_marker,
+            window_rows=args.window_rows,
+            poll_interval=args.poll_interval,
+            n_jobs=args.jobs,
+            drift=drift,
+            refit=refit,
+            model_ref=model_ref,
+            emit=_emit,
+        )
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+
+    try:
+        if args.follow:
+            stop = threading.Event()
+
+            def _terminate(signum: int, frame) -> None:
+                stop.set()
+
+            previous = signal.signal(signal.SIGTERM, _terminate)
+            try:
+                report = watcher.run(follow=True, stop=stop)
+            finally:
+                signal.signal(signal.SIGTERM, previous)
+        else:
+            report = watcher.run()
+        status = watcher.status()
+        print(
+            f"monitored {status['rows']} rows in {status['windows']} windows: "
+            f"{status['suspicious']} suspicious, {status['findings']} findings "
+            f"(model {status['model']}, state {state_path})",
+            file=sys.stderr,
+        )
+        if args.ranked_out:
+            _write_output(
+                findings_to_table(report.ranked_findings()), args.ranked_out, None
+            )
+            print(f"wrote ranked findings to {args.ranked_out}", file=sys.stderr)
+    finally:
+        watcher.close()
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import serve
 
@@ -632,6 +869,7 @@ _COMMANDS = {
     "audit": _cmd_audit,
     "evaluate": _cmd_evaluate,
     "models": _cmd_models,
+    "monitor": _cmd_monitor,
     "serve": _cmd_serve,
 }
 

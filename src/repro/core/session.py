@@ -341,6 +341,32 @@ class AuditSession:
         finally:
             csv_source.close()
 
+    def monitor(self, location, **options) -> "TableWatcher":
+        """A continuous auditor tailing *location* with this session's model.
+
+        *location* is a growing CSV/JSONL file or SQLite table (path or
+        ``sqlite:`` URI); *options* are passed to
+        :class:`~repro.monitor.watcher.TableWatcher` (``state_path`` and
+        ``findings_path`` are required — they are the monitor's durable
+        exactly-once state). The watcher audits the stream in fixed
+        windows, keeps a cumulative :class:`MonitorReport
+        <repro.monitor.watcher.MonitorReport>` byte-compatible with a
+        one-shot :meth:`audit` of the same rows, tracks per-attribute
+        drift, and can refit through a :class:`RefitPolicy
+        <repro.monitor.refit.RefitPolicy>`::
+
+            watcher = session.monitor(
+                "loads.jsonl",
+                state_path="loads.monitor.json",
+                findings_path="loads.findings.jsonl",
+            )
+            report = watcher.run()          # catch up with the file
+            report = watcher.run(follow=True, stop=stop_event)  # or tail it
+        """
+        from repro.monitor.watcher import TableWatcher
+
+        return TableWatcher(self, location, **options)
+
     def __repr__(self) -> str:
         state = "fitted" if self.is_fitted else "unfitted"
         return f"AuditSession({len(self.schema)} attributes, {state})"

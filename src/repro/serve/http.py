@@ -13,6 +13,8 @@ GET      ``/models``           every registered name with tags and latest
 GET      ``/models/{ref}``     one resolved version with full provenance
 POST     ``/fit``              fit from a ``repro.io`` source, register
 POST     ``/audit``            stream JSONL findings for a source or payload
+GET      ``/monitors``         hosted continuous monitors + drift statistics
+POST     ``/monitors``         start a continuous monitor on a growing source
 =======  ====================  ==============================================
 
 Audit responses stream with ``Transfer-Encoding: chunked`` (findings
@@ -139,10 +141,16 @@ class AuditRequestHandler(BaseHTTPRequestHandler):
             summary, lines = self.service.audit(self._read_body())
             self._stream_jsonl(summary, lines)
             return 200
+        if method == "GET" and path == "/monitors":
+            self._send_json(200, self.service.list_monitors())
+            return 200
+        if method == "POST" and path == "/monitors":
+            self._send_json(201, self.service.start_monitor(self._read_body()))
+            return 201
         raise ServiceError(
             404,
             f"no route for {method} {path} (have GET /healthz, GET /models, "
-            f"GET /models/{{ref}}, POST /fit, POST /audit)",
+            f"GET /models/{{ref}}, POST /fit, POST /audit, GET/POST /monitors)",
         )
 
     def _stream_jsonl(self, summary: dict[str, Any], lines) -> None:
@@ -238,6 +246,7 @@ def serve(
         httpd.serve_forever()
     finally:
         httpd.server_close()
+        service.stop_monitors()
         for signum, handler in previous.items():
             signal.signal(signum, handler)
         logger.info("audit service stopped")

@@ -119,6 +119,9 @@ class AuditService:
         #: digest → loaded auditor; content addressing makes entries
         #: permanently valid (an object never changes under its digest)
         self._model_cache: dict[str, DataAuditor] = {}
+        self._monitors_lock = threading.Lock()
+        #: name → {"watcher", "thread", "stop"} for hosted monitors
+        self._monitors: dict[str, dict[str, Any]] = {}
 
     # -- GET /healthz --------------------------------------------------------
 
@@ -289,6 +292,110 @@ class AuditService:
             "suspicious": len({f.row for f in findings}),
         }
         return summary, _findings_jsonl(findings)
+
+    # -- GET/POST /monitors --------------------------------------------------
+
+    def start_monitor(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Host a continuous monitor inside the daemon.
+
+        Body: ``{"name": str, "model": "name[@ref]", "source":
+        location}`` plus the optional :class:`TableWatcher
+        <repro.monitor.watcher.TableWatcher>` knobs ``format``,
+        ``null_marker``, ``window_rows``, ``poll_interval``, ``drift``
+        (a :class:`~repro.monitor.drift.DriftConfig` object),
+        ``refit`` (``off``/``recommend``/``auto``), ``refit_name``,
+        ``refit_rows``, ``state``, and ``findings`` (both default to
+        ``<registry>/monitors/<name>.*``). The monitor runs on a daemon
+        thread in follow mode; because it tails through the torn-write
+        safe tail readers, a producer appending to the source mid-poll
+        never breaks it. Auto-refits land in this service's own
+        registry, so the next ``POST /audit`` against ``name@latest``
+        already uses the refreshed model.
+        """
+        from repro.monitor.drift import DriftConfig
+        from repro.monitor.refit import RefitPolicy
+        from repro.monitor.watcher import TableWatcher
+
+        name = _require(payload, "name")
+        if not isinstance(name, str) or not name or "/" in name:
+            raise ServiceError(400, "'name' must be a non-empty string without '/'")
+        ref = _require(payload, "model")
+        source = _require(payload, "source")
+        with self._monitors_lock:
+            entry = self._monitors.get(name)
+            if entry is not None and entry["thread"].is_alive():
+                raise ServiceError(409, f"monitor {name!r} is already running")
+        auditor = self._load_model(ref)
+        try:
+            resolved = self.registry.resolve(ref)
+            drift = DriftConfig(**dict(payload.get("drift") or {}))
+            refit_mode = payload.get("refit", "off")
+            refit = RefitPolicy(
+                refit_mode,
+                registry=self.registry if refit_mode == "auto" else None,
+                model_name=payload.get("refit_name") or resolved.name,
+                refit_rows=int(payload.get("refit_rows", 4096)),
+            )
+            state_dir = self.registry.root / "monitors"
+            state_dir.mkdir(parents=True, exist_ok=True)
+            watcher = TableWatcher(
+                AuditSession(auditor=auditor),
+                source,
+                state_path=payload.get("state") or state_dir / f"{name}.state.json",
+                findings_path=(
+                    payload.get("findings") or state_dir / f"{name}.findings.jsonl"
+                ),
+                format=payload.get("format"),
+                null_marker=payload.get("null_marker", ""),
+                window_rows=int(payload.get("window_rows", 256)),
+                poll_interval=float(payload.get("poll_interval", 1.0)),
+                n_jobs=payload.get("jobs", self.n_jobs),
+                drift=drift,
+                refit=refit,
+                model_ref=resolved.ref,
+            )
+        except (OSError, TypeError, ValueError) as exc:
+            raise ServiceError(400, f"cannot start monitor {name!r}: {exc}")
+        stop = threading.Event()
+
+        def _run() -> None:
+            try:
+                watcher.run(follow=True, stop=stop)
+            except Exception as exc:  # surface in status, don't kill the daemon
+                watcher.error = str(exc)
+            finally:
+                watcher.close()
+
+        thread = threading.Thread(target=_run, daemon=True, name=f"monitor-{name}")
+        with self._monitors_lock:
+            self._monitors[name] = {"watcher": watcher, "thread": thread, "stop": stop}
+        thread.start()
+        return {"name": name, **watcher.status()}
+
+    def list_monitors(self) -> dict[str, Any]:
+        """Every hosted monitor with live progress and drift statistics."""
+        with self._monitors_lock:
+            entries = list(self._monitors.items())
+        return {
+            "monitors": [
+                {
+                    "name": name,
+                    "running": entry["thread"].is_alive(),
+                    **entry["watcher"].status(),
+                }
+                for name, entry in entries
+            ]
+        }
+
+    def stop_monitors(self, timeout: float = 10.0) -> None:
+        """Stop every hosted monitor (daemon shutdown path); whole-window
+        state is already durable, so this is just a prompt exit."""
+        with self._monitors_lock:
+            entries = list(self._monitors.values())
+        for entry in entries:
+            entry["stop"].set()
+        for entry in entries:
+            entry["thread"].join(timeout)
 
     def mark_request(self) -> None:
         """Count one served request (called by the transport)."""

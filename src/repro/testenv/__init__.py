@@ -24,6 +24,7 @@ from repro.testenv.metrics import (
     EvaluationResult,
     evaluate_audit,
 )
+from repro.testenv.streams import quis_regime_stream
 from repro.testenv.sweeps import (
     SweepPoint,
     format_series,
@@ -52,4 +53,5 @@ __all__ = [
     "default_candidates",
     "save_experiment_artifacts",
     "load_experiment_tables",
+    "quis_regime_stream",
 ]

@@ -1,0 +1,71 @@
+"""Regime-shifting test streams for the continuous-auditing scenario.
+
+The monitor's whole reason to exist is data whose *regime changes over
+time* — a feed that was fine yesterday starts mis-coding a column
+today. :func:`quis_regime_stream` manufactures exactly that from the
+QUIS simulator: one clean engine-composition stream, cut into segments,
+each segment corrupted by the pollution pipeline at its own rate. A
+``[(5000, 0.004), (5000, 0.08)]`` spec is the canonical step change the
+drift tests and the E15 bench use; a single-segment spec is the
+stationary control that must *not* alarm.
+
+Only cell-level polluters (wrong-value, null-value) are used — row
+duplicators/deleters would change row counts and break the
+segment-boundary bookkeeping a streaming test needs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.pollution.log import PollutionLog
+from repro.pollution.pipeline import PollutionPipeline
+from repro.pollution.polluters import NullValuePolluter, WrongValuePolluter
+from repro.quis.simulator import generate_clean_quis
+from repro.schema.table import Table
+
+__all__ = ["quis_regime_stream"]
+
+
+def quis_regime_stream(
+    segments: Sequence[tuple[int, float]],
+    *,
+    seed: int = 2003,
+    null_rate: float = 0.0,
+) -> tuple[Table, PollutionLog]:
+    """A QUIS stream whose pollution rate changes at segment boundaries.
+
+    *segments* is ``[(n_rows, error_rate), ...]``, concatenated in
+    order; every segment keeps exactly its ``n_rows`` rows (cell
+    polluters only), so segment *k* starts at stream row
+    ``sum(n for n, _ in segments[:k])``. Returns the dirty stream table
+    and the merged ground-truth log with stream-global row indices.
+    """
+    if not segments:
+        raise ValueError("need at least one (n_rows, error_rate) segment")
+    rng = random.Random(seed)
+    stream = Table(generate_clean_quis(1, rng).schema)
+    merged = PollutionLog()
+    offset = 0
+    for n_rows, error_rate in segments:
+        if n_rows < 1:
+            raise ValueError(f"segment row counts must be >= 1, got {n_rows}")
+        clean = generate_clean_quis(n_rows, rng)
+        polluters = [WrongValuePolluter(error_rate)]
+        if null_rate > 0:
+            polluters.append(NullValuePolluter(null_rate))
+        dirty, log = PollutionPipeline(polluters).apply(clean, rng)
+        if dirty.n_rows != n_rows:
+            raise AssertionError("cell polluters must preserve the row count")
+        stream.rows.extend(dirty.rows)
+        for change in log.cell_changes:
+            merged.record_cell(
+                change.row + offset,
+                change.attribute,
+                change.before,
+                change.after,
+                change.polluter,
+            )
+        offset += n_rows
+    return stream, merged

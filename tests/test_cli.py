@@ -842,3 +842,275 @@ class TestInterruptExits:
         assert proc.returncode == 0, proc.stderr
         assert proc.stdout.count("\n") == 1  # head got its line
         assert "Traceback" not in proc.stderr
+
+
+class TestMonitorCli:
+    """`repro monitor`: stdout carries exactly the findings JSONL, the
+    summary rides on stderr, resume continues byte-identically, and
+    `--refit auto` moves `latest` in the registry."""
+
+    @pytest.fixture
+    def stand(self, tmp_path):
+        import random
+
+        from repro.core import AuditorConfig, AuditSession
+        from repro.io import open_sink
+        from repro.registry import ModelRegistry
+        from repro.schema import Schema, Table, nominal, numeric
+
+        def build(n, seed, error_rate):
+            rng = random.Random(seed)
+            rule = {"a": "x", "b": "y", "c": "z"}
+            rows = []
+            for _ in range(n):
+                a = rng.choice(["a", "b", "c"])
+                b = (
+                    rule[a]
+                    if rng.random() > error_rate
+                    else rng.choice(["x", "y", "z"])
+                )
+                rows.append([a, b, rng.randint(0, 100)])
+            schema = Schema(
+                [
+                    nominal("A", ["a", "b", "c"]),
+                    nominal("B", ["x", "y", "z"]),
+                    numeric("N", 0, 100, integer=True),
+                ]
+            )
+            return Table(schema, rows)
+
+        train = build(1200, seed=21, error_rate=0.02)
+        stream = build(768, seed=4, error_rate=0.2)
+        session = AuditSession(
+            train.schema, AuditorConfig(min_error_confidence=0.8)
+        ).fit(train)
+        model = tmp_path / "model.json"
+        session.save(model)
+        registry_dir = tmp_path / "registry"
+        session.save_to_registry(ModelRegistry(registry_dir), "loads")
+        source = tmp_path / "stream.jsonl"
+        with open_sink(stream.schema, source) as sink:
+            sink.write(stream)
+        # a stream whose error rate steps up mid-way: the drift scenario
+        shifted = Table(
+            stream.schema,
+            build(1024, seed=31, error_rate=0.02).rows
+            + build(1024, seed=32, error_rate=0.4).rows,
+        )
+        drifting = tmp_path / "drifting.jsonl"
+        with open_sink(shifted.schema, drifting) as sink:
+            sink.write(shifted)
+        return {
+            "dir": tmp_path,
+            "build": build,
+            "model": model,
+            "registry": registry_dir,
+            "source": source,
+            "drifting": drifting,
+        }
+
+    def test_catchup_stdout_is_exactly_the_findings_file(self, stand, capsys):
+        assert (
+            main(
+                [
+                    "monitor",
+                    str(stand["source"]),
+                    "--model",
+                    str(stand["model"]),
+                    "--window-rows",
+                    "128",
+                ]
+            )
+            == 0
+        )
+        out, err = capsys.readouterr()
+        findings_file = stand["dir"] / "stream.jsonl.findings.jsonl"
+        assert out == findings_file.read_text()
+        assert "monitored 768 rows in 6 windows" in err
+        # the watermark landed next to the findings by default
+        assert (stand["dir"] / "stream.jsonl.findings.jsonl.state").exists()
+
+    def test_ranked_out_matches_oneshot_audit(self, stand, capsys):
+        ranked = stand["dir"] / "ranked.jsonl"
+        assert (
+            main(
+                [
+                    "monitor",
+                    str(stand["source"]),
+                    "--model",
+                    str(stand["model"]),
+                    "--window-rows",
+                    "128",
+                    "--ranked-out",
+                    str(ranked),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "audit",
+                    "--model",
+                    str(stand["model"]),
+                    "--input",
+                    str(stand["source"]),
+                    "--format",
+                    "jsonl",
+                ]
+            )
+            == 0
+        )
+        oneshot = capsys.readouterr().out
+        assert ranked.read_text() == oneshot
+
+    def test_resume_after_append_is_byte_identical(self, stand, capsys):
+        from repro.io import open_sink
+
+        lines = stand["source"].read_text().splitlines(keepends=True)
+        grow = stand["dir"] / "grow.jsonl"
+        grow.write_text("".join(lines[:512]))  # 4 whole 128-row windows
+        run = [
+            "monitor",
+            str(grow),
+            "--model",
+            str(stand["model"]),
+            "--window-rows",
+            "128",
+        ]
+        assert main(run) == 0
+        first_err = capsys.readouterr().err
+        assert "monitored 512 rows in 4 windows" in first_err
+        with open(grow, "a") as handle:
+            handle.write("".join(lines[512:]))
+        assert main(run) == 0
+        second_err = capsys.readouterr().err
+        assert "monitored 768 rows in 6 windows" in second_err  # cumulative
+
+        # a fresh, uninterrupted run over the full stream: same bytes
+        fresh = stand["dir"] / "fresh.jsonl"
+        fresh.write_text("".join(lines))
+        assert (
+            main(
+                [
+                    "monitor",
+                    str(fresh),
+                    "--model",
+                    str(stand["model"]),
+                    "--window-rows",
+                    "128",
+                ]
+            )
+            == 0
+        )
+        assert (stand["dir"] / "grow.jsonl.findings.jsonl").read_bytes() == (
+            stand["dir"] / "fresh.jsonl.findings.jsonl"
+        ).read_bytes()
+
+    def test_auto_refit_moves_latest_in_the_registry(self, stand, capsys):
+        from repro.registry import ModelRegistry
+
+        assert (
+            main(
+                [
+                    "monitor",
+                    str(stand["drifting"]),
+                    "--model",
+                    "loads@latest",
+                    "--registry",
+                    str(stand["registry"]),
+                    "--window-rows",
+                    "128",
+                    "--refit",
+                    "auto",
+                ]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        registry = ModelRegistry(stand["registry"])
+        assert registry.tags("loads")["latest"] == 2
+        version = registry.resolve("loads@v2")
+        assert version.provenance.extra["trigger"] == "drift"
+        assert "monitored 2048 rows" in err
+
+    def test_sqlite_source_requires_findings_out(self, stand):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "monitor",
+                    f"sqlite:///{stand['dir']}/s.db",
+                    "--model",
+                    str(stand["model"]),
+                ]
+            )
+        assert "--findings-out is required" in str(excinfo.value)
+
+    def test_unknown_registry_model_gives_clear_error(self, stand):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "monitor",
+                    str(stand["source"]),
+                    "--model",
+                    "ghost@v1",
+                    "--registry",
+                    str(stand["registry"]),
+                ]
+            )
+        assert "error" in str(excinfo.value)
+
+    def test_follow_mode_sigterm_exits_0(self, stand):
+        """The deployment shape: a producer appends while `repro monitor
+        --follow` tails; SIGTERM must exit 0 with drift logged on stderr
+        and no traceback."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        lines = stand["drifting"].read_text().splitlines(keepends=True)
+        grow = stand["dir"] / "follow.jsonl"
+        grow.write_text("".join(lines[:1024]))  # the pre-step regime
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "monitor",
+                str(grow),
+                "--model",
+                str(stand["model"]),
+                "--follow",
+                "--poll-interval",
+                "0.1",
+                "--window-rows",
+                "128",
+            ],
+            cwd=repo,
+            env=dict(os.environ, PYTHONPATH="src", PYTHONUNBUFFERED="1"),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            with open(grow, "a") as handle:  # the producer: polluted tail
+                handle.write("".join(lines[1024:]))
+            deadline = time.monotonic() + 30
+            state = stand["dir"] / "follow.jsonl.findings.jsonl.state"
+            while time.monotonic() < deadline:
+                if state.exists() and b'"rows": 2048' in state.read_bytes():
+                    break
+                time.sleep(0.2)
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=15)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 0, err
+        assert "Traceback" not in err
+        assert "drift detected" in err  # the step change was flagged
+        assert out.count("\n") == sum(1 for l in out.splitlines())  # JSONL only

@@ -164,6 +164,45 @@ class TestMerge:
         with pytest.raises(ValueError):
             AuditReport.merge([a, b])
 
+    def test_merge_tolerates_empty_chunks(self, session, table):
+        """A poll that catches zero new rows still yields a (vacuous)
+        report; merging must treat it as the no-op it is."""
+        whole = session.audit(table)
+        half = table.n_rows // 2
+        first = session.audit(table.select(range(half)))
+        empty = AuditReport(
+            0, [], [], first.min_error_confidence, row_offset=half
+        )
+        second = session.audit(
+            table.select(range(half, table.n_rows))
+        ).with_row_offset(half)
+        merged = AuditReport.merge([first, empty, second])
+        _assert_reports_equal(merged, whole)
+
+    def test_merge_identical_row_offsets_rejected(self, session, table):
+        """Two chunks claiming the same stream position is double
+        counting, not contiguity."""
+        chunk = session.audit(table.head(100))
+        with pytest.raises(ValueError, match="contiguous"):
+            AuditReport.merge([chunk, session.audit(table.head(100))])
+
+    def test_merge_is_associative(self, session, table):
+        sizes = (300, 250, 400)  # + remainder chunk = 4 chunks
+        reports, start = [], 0
+        for chunk in _chunked(table, sizes):
+            reports.append(session.audit(chunk).with_row_offset(start))
+            start += chunk.n_rows
+        flat = AuditReport.merge(reports)
+        left = AuditReport.merge(
+            [AuditReport.merge(reports[:2]), AuditReport.merge(reports[2:])]
+        )
+        right = AuditReport.merge(
+            [reports[0], AuditReport.merge(reports[1:])]
+        )
+        _assert_reports_equal(flat, session.audit(table))
+        _assert_reports_equal(left, flat)
+        _assert_reports_equal(right, flat)
+
     def test_with_row_offset_zero_is_identity(self, session, table):
         report = session.audit(table)
         assert report.with_row_offset(0) is report

@@ -62,3 +62,11 @@ def test_audit_service():
     assert "seeded errors caught: 3/3" in output
     assert "HTTP findings identical to the in-process audit: True" in output
     assert "audit service stopped cleanly" in output
+
+
+def test_continuous_audit():
+    output = _run("continuous_audit.py")
+    assert "registered quis@v1" in output
+    assert "drift detected on" in output
+    assert "auto-refit registered quis@v2 (trigger=drift" in output
+    assert "top findings:" in output

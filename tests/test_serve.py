@@ -254,6 +254,7 @@ def http_server(corpus):
     yield f"http://{host}:{port}"
     server.shutdown()
     server.server_close()
+    server.service.stop_monitors()
     thread.join(timeout=10)
 
 
@@ -322,6 +323,127 @@ class TestHttpTransport:
             t.join(timeout=60)
         assert len(results) == 4
         assert len({body for _, _, body in results}) == 1  # all identical
+
+
+def _write_stream(table, path):
+    from repro.io import open_sink
+
+    with open_sink(table.schema, path) as sink:
+        sink.write(table)
+
+
+def _wait_for(predicate, timeout=15.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.05)
+    return False
+
+
+class TestHostedMonitors:
+    def _start(self, service, tmp_path, name="m", **overrides):
+        stream = _structured_table(n=256, seed=3, error_rate=0.2)
+        source = tmp_path / f"{name}.jsonl"
+        _write_stream(stream, source)
+        payload = {
+            "name": name,
+            "model": "svc",
+            "source": str(source),
+            "window_rows": 64,
+            "poll_interval": 0.05,
+        }
+        payload.update(overrides)
+        return service.start_monitor(payload), source
+
+    def test_start_progress_and_stop(self, service, tmp_path):
+        started, source = self._start(service, tmp_path)
+        assert started["name"] == "m"
+        assert started["model"] == "svc@v1"
+        try:
+            assert _wait_for(
+                lambda: service.list_monitors()["monitors"][0]["rows"] == 256
+            )
+            (entry,) = service.list_monitors()["monitors"]
+            assert entry["running"] is True
+            assert entry["windows"] == 4
+            assert entry["findings"] > 0
+            assert entry["error"] is None
+            assert entry["drift"]["windows"] == 4
+            # a producer appending while the monitor runs is picked up
+            _write_stream(_structured_table(n=64, seed=8), tmp_path / "more.jsonl")
+            with open(source, "ab") as handle:
+                handle.write((tmp_path / "more.jsonl").read_bytes())
+            assert _wait_for(
+                lambda: service.list_monitors()["monitors"][0]["rows"] == 320
+            )
+        finally:
+            service.stop_monitors()
+        (entry,) = service.list_monitors()["monitors"]
+        assert entry["running"] is False
+        # the monitor's state and findings live under the registry root
+        monitors_dir = service.registry.root / "monitors"
+        assert (monitors_dir / "m.state.json").exists()
+        assert (monitors_dir / "m.findings.jsonl").stat().st_size > 0
+
+    def test_duplicate_name_conflicts_while_running(self, service, tmp_path):
+        self._start(service, tmp_path, name="dup")
+        try:
+            with pytest.raises(ServiceError) as excinfo:
+                self._start(service, tmp_path, name="dup")
+            assert excinfo.value.status == 409
+        finally:
+            service.stop_monitors()
+
+    def test_bad_requests_are_400(self, service, tmp_path):
+        cases = [
+            {"model": "svc", "source": "x.jsonl"},  # no name
+            {"name": "a/b", "model": "svc", "source": "x.jsonl"},  # bad name
+            {"name": "m", "model": "svc"},  # no source
+            {"name": "m", "model": "svc", "source": str(tmp_path / "ghost.jsonl")},
+            {
+                "name": "m",
+                "model": "svc",
+                "source": str(tmp_path / "ghost.jsonl"),
+                "refit": "sometimes",
+            },
+        ]
+        for payload in cases:
+            with pytest.raises(ServiceError) as excinfo:
+                service.start_monitor(payload)
+            assert excinfo.value.status == 400, payload
+        assert service.list_monitors() == {"monitors": []}
+
+    def test_unknown_model_is_404(self, service, tmp_path):
+        with pytest.raises(ServiceError) as excinfo:
+            service.start_monitor(
+                {"name": "m", "model": "ghost", "source": str(tmp_path / "s.jsonl")}
+            )
+        assert excinfo.value.status == 404
+
+    def test_monitors_over_http(self, http_server, tmp_path):
+        stream = _structured_table(n=128, seed=5, error_rate=0.2)
+        source = tmp_path / "s.jsonl"
+        _write_stream(stream, source)
+        payload = {
+            "name": "overhttp",
+            "model": "svc",
+            "source": str(source),
+            "window_rows": 64,
+            "poll_interval": 0.05,
+        }
+        status, _, body = _post(f"{http_server}/monitors", payload)
+        assert status == 201 and json.loads(body)["name"] == "overhttp"
+
+        def caught_up():
+            _, _, listing = _get(f"{http_server}/monitors")
+            monitors = json.loads(listing)["monitors"]
+            return monitors and monitors[0]["rows"] == 128
+
+        assert _wait_for(caught_up)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(f"{http_server}/monitors", payload)
+        assert excinfo.value.code == 409
 
 
 def _spawn_daemon(registry_dir):

@@ -225,6 +225,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fit.add_argument("--min-confidence", type=float, default=0.8)
     p_fit.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for structure induction — one attribute's "
+        "classifier per task (default 1 = serial; -1 = all cores); the "
+        "fitted model is byte-identical regardless of job count",
+    )
+    p_fit.add_argument(
+        "--fit-path",
+        choices=("columns", "rows"),
+        default="columns",
+        help="encoding path for fitting: 'columns' (vectorized NumPy "
+        "column encoding, the default) or 'rows' (legacy per-cell path, "
+        "kept as the parity oracle); both produce byte-identical models",
+    )
+    p_fit.add_argument(
         "--register",
         metavar="NAME",
         help="store the fitted model as the next version of NAME in the "
@@ -524,6 +540,8 @@ def _cmd_pollute(args: argparse.Namespace) -> int:
 
 
 def _cmd_fit(args: argparse.Namespace) -> int:
+    if args.jobs == 0:
+        raise SystemExit("error: --jobs must not be 0 (use 1 for serial, -1 for all cores)")
     if args.model_out is None and args.register is None:
         raise SystemExit(
             "error: pass --model-out FILE, --register NAME, or both — "
@@ -532,7 +550,12 @@ def _cmd_fit(args: argparse.Namespace) -> int:
     schema = _load_schema(args.schema)
     table = _read_input(schema, args.input, args.input_format, args.null_marker)
     auditor = DataAuditor(
-        schema, AuditorConfig(min_error_confidence=args.min_confidence)
+        schema,
+        AuditorConfig(
+            min_error_confidence=args.min_confidence,
+            fit_n_jobs=args.jobs,
+            fit_path=args.fit_path,
+        ),
     )
     auditor.fit(table)
     if args.model_out is not None:
@@ -552,7 +575,11 @@ def _cmd_fit(args: argparse.Namespace) -> int:
                 provenance=Provenance(
                     source=str(args.input),
                     source_format=_resolve_format(args.input, args.input_format),
-                    config={"min_error_confidence": args.min_confidence},
+                    config={
+                        "min_error_confidence": args.min_confidence,
+                        "fit_n_jobs": args.jobs,
+                        "fit_path": args.fit_path,
+                    },
                     n_rows=table.n_rows,
                     fit_seconds=auditor.fit_seconds,
                 ),

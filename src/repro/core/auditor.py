@@ -42,7 +42,13 @@ from repro.mining.confidence import (
     error_confidence_batch,
     min_instances_for_confidence,
 )
-from repro.mining.dataset import Dataset
+from repro.mining.dataset import (
+    BaseEncoder,
+    ClassEncoder,
+    Dataset,
+    encode_ordered_column,
+    null_mask,
+)
 from repro.mining.intervals import ConfidenceBounds
 from repro.mining.tree.grow import TreeConfig
 from repro.mining.tree_classifier import TreeClassifier
@@ -50,8 +56,11 @@ from repro.mining.tree.rules import TreeRule
 from repro.schema.domain import TextDomain
 from repro.schema.schema import Schema
 from repro.schema.table import Table
+from repro.schema.types import AttributeKind
 
-__all__ = ["AuditorConfig", "ColumnCache", "DataAuditor"]
+__all__ = ["AuditorConfig", "ColumnCache", "FitColumnCache", "DataAuditor"]
+
+_FIT_PATHS = ("columns", "rows")
 
 
 class ColumnCache:
@@ -84,6 +93,116 @@ class ColumnCache:
         if name not in self._encoded:
             self._encoded[name] = encoder.encode_column(self.raw(name))
         return self._encoded[name]
+
+
+class FitColumnCache(ColumnCache):
+    """Encode-once column store for *structure induction*.
+
+    Fitting induces one classifier per audited attribute, and every
+    classifier's :class:`~repro.mining.dataset.Dataset` used to re-encode
+    its own copy of each base column — O(attributes²) cell encodes, the
+    fit path's dominant cost at scale. This cache extends the audit-side
+    :class:`ColumnCache` with everything a fit needs, each computed at
+    most once per table:
+
+    * base encoders and base-encoded columns per attribute,
+    * null masks (shared between base and class encodings),
+    * class encoders (discretizers fitted on the base numeric view) and
+      class-code vectors, with nominal class codes derived from the base
+      codes by an integer remap instead of a second raw-column walk.
+
+    :meth:`dataset_for` assembles a classifier's training view from the
+    shared arrays (:meth:`Dataset.from_shared
+    <repro.mining.dataset.Dataset.from_shared>`) — bit-identical to the
+    standalone ``Dataset`` construction, pinned by the fit-parity suite.
+    The serial fit keeps one cache per table; each parallel fit worker
+    builds one per (table, process).
+    """
+
+    __slots__ = ("n_bins", "_encoders", "_masks", "_class_encoders", "_class_codes")
+
+    def __init__(self, table: Table, *, n_bins: int = 10):
+        super().__init__(table)
+        self.n_bins = n_bins
+        self._encoders: dict[str, BaseEncoder] = {}
+        self._masks: dict[str, np.ndarray] = {}
+        self._class_encoders: dict[str, ClassEncoder] = {}
+        self._class_codes: dict[str, np.ndarray] = {}
+
+    def base_encoder(self, name: str) -> BaseEncoder:
+        if name not in self._encoders:
+            self._encoders[name] = BaseEncoder(self.table.schema.attribute(name))
+        return self._encoders[name]
+
+    def mask(self, name: str) -> np.ndarray:
+        """The column's null mask (shared by base and class encodings)."""
+        if name not in self._masks:
+            self._masks[name] = null_mask(self.raw(name))
+        return self._masks[name]
+
+    def base_column(self, name: str) -> np.ndarray:
+        """The base-encoded column (category codes / numeric view)."""
+        if name not in self._encoded:
+            encoder = self.base_encoder(name)
+            if encoder.categorical:
+                self._encoded[name] = encoder.encode_column(self.raw(name))
+            else:
+                # route through the shared mask instead of encode_column's
+                # internal one, so the mask is computed once per column
+                self._encoded[name] = encode_ordered_column(
+                    encoder.attribute, self.raw(name), self.mask(name)
+                )
+        return self._encoded[name]
+
+    def class_encoder(self, name: str) -> ClassEncoder:
+        if name not in self._class_encoders:
+            attribute = self.table.schema.attribute(name)
+            if attribute.kind is AttributeKind.NOMINAL:
+                # nominal vocabularies come from the domain, not the data
+                self._class_encoders[name] = ClassEncoder(
+                    attribute, (), n_bins=self.n_bins
+                )
+            else:
+                numeric = self.base_column(name)
+                self._class_encoders[name] = ClassEncoder(
+                    attribute,
+                    (),
+                    n_bins=self.n_bins,
+                    numeric_view=numeric[~np.isnan(numeric)],
+                )
+        return self._class_encoders[name]
+
+    def class_codes(self, name: str) -> np.ndarray:
+        """The column encoded into class-label codes."""
+        if name not in self._class_codes:
+            encoder = self.class_encoder(name)
+            base = self.base_column(name)
+            if self.table.schema.attribute(name).kind is AttributeKind.NOMINAL:
+                # base and class encoders enumerate the same domain values,
+                # so in-domain codes coincide; only null/unknown remap
+                codes = base.copy()
+                codes[base == self.base_encoder(name).unknown_code] = (
+                    encoder.unknown_code
+                )
+                codes[base < 0] = encoder.null_code
+                self._class_codes[name] = codes
+            else:
+                self._class_codes[name] = encoder.encode_from_numeric(
+                    base, self.mask(name)
+                )
+        return self._class_codes[name]
+
+    def dataset_for(self, class_attr: str, base_attrs: Sequence[str]) -> Dataset:
+        """One classifier's training view over the shared columns."""
+        return Dataset.from_shared(
+            class_attr,
+            base_attrs,
+            encoders={name: self.base_encoder(name) for name in base_attrs},
+            columns={name: self.base_column(name) for name in base_attrs},
+            class_encoder=self.class_encoder(class_attr),
+            y=self.class_codes(class_attr),
+            n_rows=self.table.n_rows,
+        )
 
 
 def _default_classifier_factory(config: "AuditorConfig") -> AttributeClassifier:
@@ -129,6 +248,18 @@ class AuditorConfig:
         processes, negative counts are cpu-relative (``-1`` = all cores).
         The per-call ``n_jobs=`` argument of :meth:`DataAuditor.audit`
         overrides it. Parallel and serial audits are bit-identical.
+    fit_n_jobs:
+        Default worker count for structure induction, with the same
+        conventions; overridden per call by ``fit(n_jobs=)``. Each task
+        is one audited attribute's classifier fit. Parallel and serial
+        fits produce byte-identical serialized models.
+    fit_path:
+        Encoding path of structure induction. ``"columns"`` (the
+        default) encodes each table column once and runs the fit on
+        shared NumPy column arrays (:class:`FitColumnCache`);
+        ``"rows"`` is the legacy cell-at-a-time formulation kept as the
+        *parity oracle* — both paths must produce byte-identical
+        serialized models (pinned by ``tests/test_fit_parity_property.py``).
     """
 
     min_error_confidence: float = 0.80
@@ -138,16 +269,23 @@ class AuditorConfig:
     base_attributes: Mapping[str, Sequence[str]] = field(default_factory=dict)
     audited_attributes: Optional[Sequence[str]] = None
     n_jobs: int = 1
+    fit_n_jobs: int = 1
+    fit_path: str = "columns"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.min_error_confidence < 1.0:
             raise ValueError("min_error_confidence must lie strictly in (0, 1)")
         if self.n_bins < 2:
             raise ValueError("n_bins must be at least 2")
-        if self.n_jobs == 0:
+        for name, value in (("n_jobs", self.n_jobs), ("fit_n_jobs", self.fit_n_jobs)):
+            if value == 0:
+                raise ValueError(
+                    f"{name} must be a positive worker count or a negative "
+                    f"cpu-relative count (-1 = all cores), not 0"
+                )
+        if self.fit_path not in _FIT_PATHS:
             raise ValueError(
-                "n_jobs must be a positive worker count or a negative "
-                "cpu-relative count (-1 = all cores), not 0"
+                f"fit_path must be one of {_FIT_PATHS}, got {self.fit_path!r}"
             )
 
     def make_classifier(self) -> AttributeClassifier:
@@ -194,25 +332,79 @@ class DataAuditor:
             return [name for name in configured if name != class_attr]
         return [name for name in self.schema.names if name != class_attr]
 
-    def fit(self, table: Table) -> "DataAuditor":
+    def fit(self, table: Table, *, n_jobs: Optional[int] = None) -> "DataAuditor":
         """Induce one classifier per audited attribute (sec. 5's structure
-        induction; may run offline, see module docstring)."""
+        induction; may run offline, see module docstring).
+
+        The fit runs on the configured encoding path
+        (:attr:`AuditorConfig.fit_path`): the default column path encodes
+        each table column exactly once into a shared
+        :class:`FitColumnCache` and every classifier trains on those
+        shared arrays; the row path re-encodes cell-at-a-time per
+        classifier (the parity oracle).
+
+        *n_jobs* (default: :attr:`AuditorConfig.fit_n_jobs`) selects the
+        executor: ``1`` fits serially in-process; ``N > 1`` fans the
+        per-attribute fits out over *N* worker processes
+        (:func:`repro.core.parallel.fit_table_parallel`); negative counts
+        are cpu-relative (``-1`` = all cores). The fitted model is
+        byte-identical (serialized form) at any job count on either path.
+        """
+        from repro.core.parallel import fit_table_parallel, resolve_n_jobs
+
         if table.schema != self.schema:
             raise ValueError("table schema does not match the auditor's schema")
         started = time.perf_counter()
-        self.classifiers = {}
-        for class_attr in self.audited_attributes():
-            dataset = Dataset(
-                table,
-                class_attr,
-                self.base_attributes_for(class_attr),
-                n_bins=self.config.n_bins,
+        jobs = resolve_n_jobs(self.config.fit_n_jobs if n_jobs is None else n_jobs)
+        attrs = self.audited_attributes()
+        if jobs > 1 and len(attrs) > 1 and table.n_rows > 0:
+            self.classifiers = fit_table_parallel(self, table, jobs)
+        else:
+            cache = (
+                FitColumnCache(table, n_bins=self.config.n_bins)
+                if self.config.fit_path == "columns"
+                else None
             )
-            classifier = self.config.make_classifier()
-            classifier.fit(dataset)
-            self.classifiers[class_attr] = classifier
+            self.classifiers = {
+                class_attr: self.fit_attribute(class_attr, table, cache)
+                for class_attr in attrs
+            }
         self.fit_seconds = time.perf_counter() - started
         return self
+
+    def fit_dataset(
+        self,
+        class_attr: str,
+        table: Table,
+        cache: Optional[FitColumnCache] = None,
+    ) -> Dataset:
+        """One classifier's training view of *table*.
+
+        With a :class:`FitColumnCache` the view references the cache's
+        shared encoded arrays; without one it is built standalone on the
+        configured encoding path. Both constructions are bit-identical.
+        """
+        if cache is not None:
+            return cache.dataset_for(class_attr, self.base_attributes_for(class_attr))
+        return Dataset(
+            table,
+            class_attr,
+            self.base_attributes_for(class_attr),
+            n_bins=self.config.n_bins,
+            encode_path=self.config.fit_path,
+        )
+
+    def fit_attribute(
+        self,
+        class_attr: str,
+        table: Table,
+        cache: Optional[FitColumnCache] = None,
+    ) -> AttributeClassifier:
+        """Fit one class attribute's classifier — the independent unit of
+        work the serial loop and the parallel executor are built from."""
+        classifier = self.config.make_classifier()
+        classifier.fit(self.fit_dataset(class_attr, table, cache))
+        return classifier
 
     # -- deviation detection ---------------------------------------------------
 

@@ -24,6 +24,17 @@ independent, exact for floats), findings are re-sorted by
 :class:`~repro.core.findings.AuditReport` on construction, and chunk
 reports are folded in stream order regardless of completion order.
 
+**Structure induction** parallelizes along the same per-attribute axis:
+each audited attribute's classifier fit is independent
+(:meth:`DataAuditor.fit_attribute
+<repro.core.auditor.DataAuditor.fit_attribute>`), and
+:func:`fit_table_parallel` fans those fits out, each worker holding the
+shared table plus its own encode-once
+:class:`~repro.core.auditor.FitColumnCache`. Fitted classifiers return
+to the parent as their lean prediction payloads and fold in
+audited-attribute order, so the serialized model is byte-identical to a
+serial fit at any job count.
+
 Workers receive the fitted model once, at pool start-up: the dispatch
 payload is the auditor with each classifier swapped for its
 :meth:`~repro.mining.base.AttributeClassifier.prediction_payload` (for
@@ -56,8 +67,10 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a module cycle
 __all__ = [
     "resolve_n_jobs",
     "dispatch_payload",
+    "fit_dispatch_payload",
     "audit_table_parallel",
     "audit_chunks_parallel",
+    "fit_table_parallel",
 ]
 
 
@@ -104,6 +117,23 @@ def dispatch_payload(auditor: "DataAuditor") -> "DataAuditor":
     return clone
 
 
+def fit_dispatch_payload(auditor: "DataAuditor") -> "DataAuditor":
+    """The auditor clone shipped to *fit* worker processes.
+
+    Unlike :func:`dispatch_payload`, fit workers must construct fresh
+    classifiers, so the config keeps its ``classifier_factory``; any
+    already-fitted classifiers are dropped — every worker fits from
+    scratch. Under ``spawn`` a custom factory must be picklable
+    (:func:`fit_table_parallel` pre-checks and raises a clear error).
+    """
+    clone = object.__new__(type(auditor))
+    clone.schema = auditor.schema
+    clone.config = auditor.config
+    clone.classifiers = {}
+    clone.fit_seconds = 0.0
+    return clone
+
+
 # -- worker side -----------------------------------------------------------
 #
 # One payload per pool, installed by the initializer; tasks then name only
@@ -117,11 +147,13 @@ def dispatch_payload(auditor: "DataAuditor") -> "DataAuditor":
 # bytes — the only portable channel.
 
 _WORKER_AUDITOR: Optional["DataAuditor"] = None
-_WORKER_CACHE = None  # ColumnCache over the shared table (per-column mode)
+_WORKER_CACHE = None  # ColumnCache/FitColumnCache over the shared table
+_WORKER_TABLE: Optional["Table"] = None  # the shared table (fit mode)
 
 #: payloads staged in the parent for fork-inheriting workers, keyed by a
-#: per-pool token; each entry holds (auditor, table) in per-column mode
-#: and (auditor, None) in per-chunk mode, and lives for the whole pool
+#: per-pool token; each entry holds (auditor, table, mode) — table is the
+#: shared table in per-column audit and fit modes, None in per-chunk
+#: mode — and lives for the whole pool
 #: lifetime — a worker respawned after a crash forks from the parent
 #: later and must still find it, and concurrent audits (from threads)
 #: each own their token instead of racing on one slot
@@ -129,12 +161,24 @@ _DISPATCH_REGISTRY: dict[int, tuple] = {}
 _dispatch_tokens = itertools.count()
 
 
-def _install_dispatch(auditor: "DataAuditor", table: Optional["Table"]) -> None:
-    from repro.core.auditor import ColumnCache
+def _install_dispatch(
+    auditor: "DataAuditor", table: Optional["Table"], mode: str = "audit"
+) -> None:
+    from repro.core.auditor import ColumnCache, FitColumnCache
 
-    global _WORKER_AUDITOR, _WORKER_CACHE
+    global _WORKER_AUDITOR, _WORKER_CACHE, _WORKER_TABLE
     _WORKER_AUDITOR = auditor
-    _WORKER_CACHE = ColumnCache(table) if table is not None else None
+    _WORKER_TABLE = table
+    if mode == "fit":
+        # the encode-once fit cache, built lazily per worker; the rows
+        # (oracle) path fits cache-less, exactly like the serial path
+        _WORKER_CACHE = (
+            FitColumnCache(table, n_bins=auditor.config.n_bins)
+            if table is not None and auditor.config.fit_path == "columns"
+            else None
+        )
+    else:
+        _WORKER_CACHE = ColumnCache(table) if table is not None else None
 
 
 def _init_worker_from_registry(token: int) -> None:
@@ -158,6 +202,17 @@ def _audit_chunk_task(chunk: "Table") -> AuditReport:
     return _WORKER_AUDITOR.audit(chunk, n_jobs=1)
 
 
+def _fit_attribute_task(class_attr: str):
+    assert _WORKER_AUDITOR is not None and _WORKER_TABLE is not None
+    classifier = _WORKER_AUDITOR.fit_attribute(
+        class_attr, _WORKER_TABLE, _WORKER_CACHE
+    )
+    # ship the lean prediction payload back: for trees that drops the
+    # encoded training matrix, and serialization/auditing only ever read
+    # what the payload retains (root, encoders, class vocabulary)
+    return classifier.prediction_payload()
+
+
 # -- driver side -----------------------------------------------------------
 
 
@@ -166,9 +221,17 @@ class _dispatch_pool:
     payload — inherited copy-on-write under ``fork``, pickled under
     ``spawn``."""
 
-    def __init__(self, n_jobs: int, auditor: "DataAuditor", table: Optional["Table"]):
+    def __init__(
+        self,
+        n_jobs: int,
+        auditor: "DataAuditor",
+        table: Optional["Table"],
+        *,
+        payload_builder=dispatch_payload,
+        mode: str = "audit",
+    ):
         self.n_jobs = n_jobs
-        self.payload = (dispatch_payload(auditor), table)
+        self.payload = (payload_builder(auditor), table, mode)
         self.ctx = _mp_context()
         self.token: Optional[int] = None
 
@@ -265,3 +328,33 @@ def audit_chunks_parallel(
         while pending:
             chunk_offset, result = pending.popleft()
             yield result.get().with_row_offset(chunk_offset)
+
+
+def fit_table_parallel(auditor: "DataAuditor", table: "Table", n_jobs: int) -> dict:
+    """Fit one classifier per audited attribute over *n_jobs* workers.
+
+    Each task is one class attribute's fit
+    (:meth:`~repro.core.auditor.DataAuditor.fit_attribute`); every worker
+    holds the shared table and — on the column path — its own encode-once
+    :class:`~repro.core.auditor.FitColumnCache`. Results fold back in
+    audited-attribute order (``pool.map`` preserves it), so the
+    classifier dict, and with it the serialized model, is byte-identical
+    to a serial fit.
+    """
+    attrs = auditor.audited_attributes()
+    n_jobs = min(n_jobs, len(attrs))
+    factory = auditor.config.classifier_factory
+    if factory is not None and _mp_context().get_start_method() != "fork":
+        try:
+            pickle.dumps(factory)
+        except Exception as error:
+            raise ValueError(
+                "parallel fit under the 'spawn' start method requires a "
+                "picklable classifier_factory (module-level function, not "
+                f"a closure/lambda): {error}"
+            ) from error
+    with _dispatch_pool(
+        n_jobs, auditor, table, payload_builder=fit_dispatch_payload, mode="fit"
+    ) as pool:
+        results = pool.map(_fit_attribute_task, attrs, chunksize=1)
+    return dict(zip(attrs, results))

@@ -164,6 +164,11 @@ def auditor_to_dict(auditor: DataAuditor) -> dict[str, Any]:
                 else None
             ),
             "n_jobs": config.n_jobs,
+            # fit_path / fit_n_jobs are deliberately NOT persisted: they
+            # are fit-time execution knobs that never change the induced
+            # model, and keeping them out makes the serialized document
+            # (and hence the registry content address) byte-identical no
+            # matter how the model was fitted.
         },
         "classifiers": classifiers,
     }

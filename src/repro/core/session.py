@@ -112,12 +112,25 @@ class AuditSession:
 
     # -- offline: structure induction --------------------------------------
 
-    def fit(self, table: Table) -> "AuditSession":
-        """Induce the structure model (sec. 5; may run offline)."""
-        self.auditor.fit(table)
+    def fit(self, table: Table, *, n_jobs: Optional[int] = None) -> "AuditSession":
+        """Induce the structure model (sec. 5; may run offline).
+
+        ``n_jobs > 1`` fits the audited attributes on a process pool
+        (:func:`~repro.core.parallel.fit_table_parallel`); the default
+        comes from :attr:`AuditorConfig.fit_n_jobs
+        <repro.core.auditor.AuditorConfig.fit_n_jobs>`. The fitted model
+        is byte-identical to the serial fit at any job count.
+        """
+        self.auditor.fit(table, n_jobs=n_jobs)
         return self
 
-    def fit_source(self, source, *, validate: bool = False) -> "AuditSession":
+    def fit_source(
+        self,
+        source,
+        *,
+        validate: bool = False,
+        n_jobs: Optional[int] = None,
+    ) -> "AuditSession":
         """:meth:`fit` on any stored table (the offline half of sec. 2.2).
 
         *source* is an open :class:`~repro.io.TableSource` or a location
@@ -129,7 +142,7 @@ class AuditSession:
         """
         source, owned = self._resolve_source(source)
         try:
-            return self.fit(source.read(validate=validate))
+            return self.fit(source.read(validate=validate), n_jobs=n_jobs)
         finally:
             if owned:
                 source.close()

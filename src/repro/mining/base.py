@@ -214,6 +214,23 @@ class AttributeClassifier(ABC):
             support[row] = prediction.n
         return BatchPrediction(probabilities, support, dataset.class_encoder.labels)
 
+    def fit_state(self) -> dict:
+        """The complete fitted state as plain JSON types.
+
+        This is the canonical *serialized form* of the model:
+        ``json.dumps(classifier.fit_state(), sort_keys=True)`` is the
+        byte fingerprint the fit-parity suite compares across encoding
+        paths (``fit_path="columns"`` vs ``"rows"``) and worker counts —
+        two fits are considered identical exactly when these bytes match.
+        Implementations must therefore emit *every* value prediction can
+        depend on (class vocabulary, fitted tables/trees/rules,
+        discretizer cuts, subsampled training data) in a deterministic
+        order.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose its fitted state"
+        )
+
     def prediction_payload(self) -> "AttributeClassifier":
         """The object a parallel audit dispatches to worker processes.
 

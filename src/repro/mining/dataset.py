@@ -17,6 +17,22 @@ The classifiers of sec. 5 all consume the same view of a table:
   the classifier to regard an unexpected null as a deviation, which it
   can only do if nulls are part of the class vocabulary. A single
   *unknown* label absorbs out-of-domain class values.
+
+Two encoding paths produce these views. The **column path** (default)
+converts whole columns at once — bulk NumPy casts for numeric columns,
+dict-lookup comprehensions for nominal codes — and is what the fit hot
+path and the audit path run on. The **row path**
+(:meth:`BaseEncoder.encode_column_rowwise` /
+:meth:`ClassEncoder.encode_column_rowwise`, selected by
+``Dataset(..., encode_path="rows")``) walks cells one at a time through
+:meth:`BaseEncoder.encode` / :meth:`ClassEncoder.code_of` — the legacy
+formulation kept as the *parity oracle*: both paths must produce
+bit-identical arrays, which ``tests/test_fit_parity_property.py`` pins
+on randomized tables. The single documented divergence: a raw ``NaN``
+float stored directly in a table cell (impossible through any
+:mod:`repro.io` backend, which all reject non-finite values at parse
+time) is counted by the row path when sizing class bins but is
+indistinguishable from a kind-violating cell on the column path.
 """
 
 from __future__ import annotations
@@ -37,12 +53,65 @@ __all__ = [
     "BaseEncoder",
     "ClassEncoder",
     "Dataset",
+    "null_mask",
+    "encode_ordered_column",
 ]
 
 #: Class label representing a null class value.
 NULL_LABEL = "<null>"
 #: Class label absorbing out-of-domain class values.
 UNKNOWN_LABEL = "<unknown>"
+
+_ENCODE_PATHS = ("columns", "rows")
+
+
+def null_mask(values: Sequence[Value]) -> np.ndarray:
+    """Boolean mask of the null cells of a raw column."""
+    return np.fromiter((v is None for v in values), dtype=bool, count=len(values))
+
+
+def encode_ordered_column(
+    attribute: Attribute, values: Sequence[Value], mask: np.ndarray
+) -> np.ndarray:
+    """Numeric view of an ordered column: ``float(to_number(v))`` per
+    cell, ``NaN`` for null (per *mask*) and for kind-violating cells.
+
+    Clean numeric columns take one bulk C-level cast; date columns one
+    ``toordinal`` comprehension. Columns polluted with kind-violating
+    cells (and domains without a numeric view) fall back to a
+    cell-at-a-time loop with exactly the ``try/except`` semantics of
+    :meth:`BaseEncoder.encode`, so the result is bit-identical to the
+    row path in every case.
+    """
+    out = np.full(len(values), np.nan, dtype=np.float64)
+    nonnull = [v for v in values if v is not None]
+    if not nonnull:
+        return out
+    converted: Optional[np.ndarray] = None
+    try:
+        if attribute.kind is AttributeKind.DATE:
+            converted = np.asarray(
+                [float(v.toordinal()) for v in nonnull], dtype=np.float64
+            )
+        elif attribute.kind is AttributeKind.NUMERIC:
+            # numpy converts int/float/bool/str elements exactly like
+            # float() does (verified down to rounding and error cases);
+            # anything else raises and routes to the fallback
+            converted = np.asarray(nonnull, dtype=np.float64)
+    except (TypeError, AttributeError, ValueError):
+        converted = None
+    if converted is None:
+        domain = attribute.domain
+
+        def _one(value: Value) -> float:
+            try:
+                return float(domain.to_number(value))
+            except (TypeError, AttributeError, ValueError):
+                return float("nan")
+
+        converted = np.asarray([_one(v) for v in nonnull], dtype=np.float64)
+    out[~mask] = converted
+    return out
 
 
 class BaseEncoder:
@@ -81,6 +150,24 @@ class BaseEncoder:
             return float("nan")  # kind-violating cell (e.g. switched column)
 
     def encode_column(self, values: Sequence[Value]) -> np.ndarray:
+        """Vectorized whole-column encoding (the default *column path*).
+
+        Bit-identical to the cell-at-a-time
+        :meth:`encode_column_rowwise` oracle — pinned by the fit-parity
+        property suite.
+        """
+        if self.categorical:
+            get = self._codes.get
+            unknown = self.unknown_code
+            return np.asarray(
+                [-1 if v is None else get(v, unknown) for v in values],
+                dtype=np.int64,
+            )
+        return encode_ordered_column(self.attribute, values, null_mask(values))
+
+    def encode_column_rowwise(self, values: Sequence[Value]) -> np.ndarray:
+        """The legacy cell-at-a-time encoding — the row-walking parity
+        oracle behind ``AuditorConfig(fit_path="rows")``."""
         if self.categorical:
             return np.asarray([self.encode(v) for v in values], dtype=np.int64)
         return np.asarray([self.encode(v) for v in values], dtype=np.float64)
@@ -104,7 +191,11 @@ class ClassEncoder:
         values: Sequence[Value],
         *,
         n_bins: int = 10,
+        numeric_view: Optional[np.ndarray] = None,
+        encode_path: str = "columns",
     ):
+        if encode_path not in _ENCODE_PATHS:
+            raise ValueError(f"encode_path must be one of {_ENCODE_PATHS}, got {encode_path!r}")
         self.attribute = attribute
         self.discretizer: Optional[EqualFrequencyDiscretizer] = None
         if attribute.kind is AttributeKind.NOMINAL:
@@ -112,13 +203,22 @@ class ClassEncoder:
             value_labels = list(domain.values)
             self._value_to_label = {value: value for value in domain.values}
         else:
-            numeric_view = [
-                attribute.domain.to_number(v)
-                for v in values
-                if v is not None and _orderable(attribute, v)
-            ]
-            if numeric_view:
-                bins = max(2, min(n_bins, len(set(numeric_view))))
+            if numeric_view is None:
+                if encode_path == "rows":
+                    # the row-walking oracle: per-cell to_number with an
+                    # orderability probe (to_number called twice per cell)
+                    numeric_view = [  # type: ignore[assignment]
+                        attribute.domain.to_number(v)
+                        for v in values
+                        if v is not None and _orderable(attribute, v)
+                    ]
+                else:
+                    numeric = encode_ordered_column(
+                        attribute, values, null_mask(values)
+                    )
+                    numeric_view = numeric[~np.isnan(numeric)]
+            if len(numeric_view):
+                bins = max(2, min(n_bins, _distinct_count(numeric_view)))
                 self.discretizer = EqualFrequencyDiscretizer(bins).fit(numeric_view)
                 value_labels = [
                     self.discretizer.bin_label(i)
@@ -129,6 +229,10 @@ class ClassEncoder:
             self._value_to_label = {}
         self.labels: tuple[str, ...] = tuple(value_labels) + (NULL_LABEL, UNKNOWN_LABEL)
         self._label_codes = {label: i for i, label in enumerate(self.labels)}
+        self._value_codes = {
+            value: self._label_codes[label]
+            for value, label in self._value_to_label.items()
+        }
 
     @property
     def n_labels(self) -> int:
@@ -163,7 +267,42 @@ class ClassEncoder:
         return self._label_codes[label]
 
     def encode_column(self, values: Sequence[Value]) -> np.ndarray:
+        """Vectorized class encoding of a whole column (bit-identical to
+        the per-cell :meth:`code_of` loop, pinned by the parity suite)."""
+        if self.attribute.kind is AttributeKind.NOMINAL:
+            get = self._value_codes.get
+            null_code = self.null_code
+            unknown_code = self.unknown_code
+            return np.asarray(
+                [null_code if v is None else get(v, unknown_code) for v in values],
+                dtype=np.int64,
+            )
+        mask = null_mask(values)
+        numeric = encode_ordered_column(self.attribute, values, mask)
+        return self.encode_from_numeric(numeric, mask)
+
+    def encode_column_rowwise(self, values: Sequence[Value]) -> np.ndarray:
+        """The legacy cell-at-a-time class encoding (row-path oracle)."""
         return np.asarray([self.code_of(v) for v in values], dtype=np.int64)
+
+    def encode_from_numeric(
+        self, numeric: np.ndarray, mask: np.ndarray
+    ) -> np.ndarray:
+        """Class codes from a precomputed numeric view + null mask.
+
+        The shared fit path
+        (:class:`repro.core.auditor.FitColumnCache`) already holds the
+        base-encoded float column of an ordered class attribute; this
+        reuses it instead of re-walking the raw values. ``NaN`` cells
+        that are not null are kind violations → the unknown label.
+        """
+        codes = np.full(len(numeric), self.unknown_code, dtype=np.int64)
+        if self.discretizer is not None:
+            finite = ~np.isnan(numeric)
+            if finite.any():
+                codes[finite] = self.discretizer.transform(numeric[finite])
+        codes[mask] = self.null_code
+        return codes
 
     # -- persistence ----------------------------------------------------------
 
@@ -194,6 +333,10 @@ class ClassEncoder:
             }
         else:
             instance._value_to_label = {}
+        instance._value_codes = {
+            value: instance._label_codes[label]
+            for value, label in instance._value_to_label.items()
+        }
         return instance
 
     def proposal_for(self, label: str) -> Value:
@@ -219,6 +362,18 @@ def _orderable(attribute: Attribute, value: Value) -> bool:
         return False
 
 
+def _distinct_count(view) -> int:
+    """Distinct-value count of a numeric view (bin-count sizing).
+
+    ``len(set(...))`` on the row path's Python list and ``np.unique`` on
+    the column path's float array agree: int/float values that compare
+    equal hash equal, and ``-0.0 == 0.0`` dedups identically both ways.
+    """
+    if isinstance(view, np.ndarray):
+        return int(np.unique(view).size)
+    return len(set(view))
+
+
 class Dataset:
     """One classifier's training view: encoded base columns + class codes.
 
@@ -234,7 +389,12 @@ class Dataset:
         base_attrs: Sequence[str],
         *,
         n_bins: int = 10,
+        encode_path: str = "columns",
     ):
+        if encode_path not in _ENCODE_PATHS:
+            raise ValueError(
+                f"encode_path must be one of {_ENCODE_PATHS}, got {encode_path!r}"
+            )
         schema = table.schema
         self.class_attr = class_attr
         self.base_attrs = tuple(base_attrs)
@@ -243,15 +403,27 @@ class Dataset:
         self.encoders: dict[str, BaseEncoder] = {
             name: BaseEncoder(schema.attribute(name)) for name in self.base_attrs
         }
-        self.columns: dict[str, np.ndarray] = {
-            name: self.encoders[name].encode_column(table.column(name))
-            for name in self.base_attrs
-        }
+        if encode_path == "rows":
+            self.columns: dict[str, np.ndarray] = {
+                name: self.encoders[name].encode_column_rowwise(table.column(name))
+                for name in self.base_attrs
+            }
+        else:
+            self.columns = {
+                name: self.encoders[name].encode_column(table.column(name))
+                for name in self.base_attrs
+            }
         class_values = table.column(class_attr)
         self.class_encoder = ClassEncoder(
-            schema.attribute(class_attr), class_values, n_bins=n_bins
+            schema.attribute(class_attr),
+            class_values,
+            n_bins=n_bins,
+            encode_path=encode_path,
         )
-        self.y: np.ndarray = self.class_encoder.encode_column(class_values)
+        if encode_path == "rows":
+            self.y: np.ndarray = self.class_encoder.encode_column_rowwise(class_values)
+        else:
+            self.y = self.class_encoder.encode_column(class_values)
         self.n_rows = table.n_rows
 
     @property
@@ -286,6 +458,39 @@ class Dataset:
         instance.class_encoder = self.class_encoder
         instance.y = np.empty(0, dtype=np.int64)
         instance.n_rows = 0
+        return instance
+
+    @classmethod
+    def from_shared(
+        cls,
+        class_attr: str,
+        base_attrs: Sequence[str],
+        *,
+        encoders: Mapping[str, BaseEncoder],
+        columns: Mapping[str, np.ndarray],
+        class_encoder: ClassEncoder,
+        y: np.ndarray,
+        n_rows: int,
+    ) -> "Dataset":
+        """Assemble a dataset from pre-encoded shared columns.
+
+        The fit fan-out (:class:`repro.core.auditor.FitColumnCache`)
+        encodes every column of a table exactly once; each per-attribute
+        classifier then gets a dataset view referencing those shared
+        arrays instead of re-encoding its own copy — the same
+        one-encode-per-column discipline the audit path uses. Arrays are
+        shared read-only, never copied.
+        """
+        instance = cls.__new__(cls)
+        instance.class_attr = class_attr
+        instance.base_attrs = tuple(base_attrs)
+        if class_attr in instance.base_attrs:
+            raise ValueError("class attribute cannot be one of its base attributes")
+        instance.encoders = {name: encoders[name] for name in instance.base_attrs}
+        instance.columns = {name: columns[name] for name in instance.base_attrs}
+        instance.class_encoder = class_encoder
+        instance.y = y
+        instance.n_rows = n_rows
         return instance
 
     @classmethod

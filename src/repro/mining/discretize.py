@@ -39,7 +39,14 @@ class EqualFrequencyDiscretizer:
 
     def fit(self, values: Sequence[float]) -> "EqualFrequencyDiscretizer":
         """Fit cut points on the non-null training *values*."""
-        data = np.asarray([v for v in values if v is not None and not np.isnan(v)], dtype=float)
+        if isinstance(values, np.ndarray):
+            # column-path fast lane: bulk NaN filter (mask indexing copies,
+            # so the in-place sort below cannot touch the caller's array)
+            data = values[~np.isnan(values)].astype(np.float64, copy=False)
+        else:
+            data = np.asarray(
+                [v for v in values if v is not None and not np.isnan(v)], dtype=float
+            )
         if data.size == 0:
             raise ValueError("cannot fit a discretizer on no values")
         data.sort()
@@ -48,9 +55,15 @@ class EqualFrequencyDiscretizer:
         # collapses bins instead of fabricating interpolated boundaries
         cuts = np.unique(np.quantile(data, quantiles, method="lower"))
         self._cuts = cuts
+        # On sorted data each bin is a contiguous slice: bin i holds the
+        # values v with cuts[i-1] <= v < cuts[i], i.e. rows
+        # [searchsorted(data, cuts[i-1]), searchsorted(data, cuts[i])) —
+        # one O(bins log n) pass instead of re-assigning all rows per bin.
+        starts = np.searchsorted(data, cuts, side="left")
+        bounds = np.concatenate(([0], starts, [data.size]))
         representatives = []
         for bin_index in range(len(cuts) + 1):
-            members = data[self._assign(data, cuts) == bin_index]
+            members = data[bounds[bin_index] : bounds[bin_index + 1]]
             if members.size:
                 representatives.append(float(np.median(members)))
             else:  # empty interior bin after deduplication — use a boundary

@@ -75,6 +75,25 @@ class KnnClassifier(AttributeClassifier):
                 span = float(known.max() - known.min()) if known.size else 0.0
                 self._spans[name] = span if span > 0 else 1.0
 
+    def fit_state(self) -> dict:
+        """Canonical fitted state (see
+        :meth:`AttributeClassifier.fit_state
+        <repro.mining.base.AttributeClassifier.fit_state>`): the retained
+        (possibly subsampled) training columns themselves — kNN is
+        instance-based, so they *are* the model."""
+        dataset = self._require_fitted()
+        assert self._y is not None
+        return {
+            "type": "knn",
+            "class_encoder": dataset.class_encoder.to_state(),
+            "k": self.k,
+            "columns": {
+                name: column.tolist() for name, column in self._columns.items()
+            },
+            "spans": dict(self._spans),
+            "y": self._y.tolist(),
+        }
+
     def predict_encoded(self, encoded: Mapping[str, float]) -> Prediction:
         dataset = self._require_fitted()
         assert self._y is not None

@@ -84,6 +84,24 @@ class NaiveBayesClassifier(AttributeClassifier):
             )
             self._tables[name] = likelihood
 
+    def fit_state(self) -> dict:
+        """Canonical fitted state (see
+        :meth:`AttributeClassifier.fit_state
+        <repro.mining.base.AttributeClassifier.fit_state>`)."""
+        dataset = self._require_fitted()
+        assert self._priors is not None
+        return {
+            "type": "naive-bayes",
+            "class_encoder": dataset.class_encoder.to_state(),
+            "priors": self._priors.tolist(),
+            "tables": {name: table.tolist() for name, table in self._tables.items()},
+            "discretizers": {
+                name: discretizer.to_state()
+                for name, discretizer in self._discretizers.items()
+            },
+            "n_training": self._n_training,
+        }
+
     def predict_encoded(self, encoded: Mapping[str, float]) -> Prediction:
         dataset = self._require_fitted()
         assert self._priors is not None

@@ -10,6 +10,12 @@
 
 Both report the covered-bucket / covered-rule training support as ``n``
 for the error confidence.
+
+Both fit paths run on NumPy aggregation: 1R scores attributes through one
+``np.bincount`` joint table each, and PRISM's rule growth scores every
+(attribute, bucket) condition from per-attribute bincounts instead of a
+per-bucket mask loop — bit-identical to the scalar formulation (see
+``_grow_rule``), pinned by the fit-parity property suite.
 """
 
 from __future__ import annotations
@@ -63,6 +69,16 @@ class _Bucketizer:
                 codes[known] = discretizer.transform(column[known]) + 1
                 self.buckets[name] = codes
                 self.n_buckets[name] = discretizer.n_bins + 1
+
+    def to_state(self) -> dict:
+        """JSON-compatible fitted state (for parity fingerprints)."""
+        return {
+            "n_buckets": dict(self.n_buckets),
+            "discretizers": {
+                name: discretizer.to_state()
+                for name, discretizer in self.discretizers.items()
+            },
+        }
 
     def bucket_of(self, name: str, raw: float) -> int:
         encoder = self.dataset.encoders[name]
@@ -122,6 +138,25 @@ class OneRClassifier(AttributeClassifier):
                 best_name, best_errors, best_joint = name, errors, joint
         self.attribute = best_name
         self._bucket_counts = best_joint
+
+    def fit_state(self) -> dict:
+        """Canonical fitted state (see
+        :meth:`AttributeClassifier.fit_state
+        <repro.mining.base.AttributeClassifier.fit_state>`)."""
+        dataset = self._require_fitted()
+        assert self._bucketizer is not None and self._global_counts is not None
+        return {
+            "type": "one-r",
+            "class_encoder": dataset.class_encoder.to_state(),
+            "attribute": self.attribute,
+            "bucket_counts": (
+                self._bucket_counts.tolist()
+                if self._bucket_counts is not None
+                else None
+            ),
+            "global_counts": self._global_counts.tolist(),
+            "bucketizer": self._bucketizer.to_state(),
+        }
 
     def predict_encoded(self, encoded: Mapping[str, float]) -> Prediction:
         dataset = self._require_fitted()
@@ -272,29 +307,64 @@ class PrismClassifier(AttributeClassifier):
             precision_now = float((y[covered] == target).mean()) if covered.size else 0.0
             if covered.size and precision_now == 1.0:
                 return covered, conditions
-            best = None  # (precision, coverage, name, bucket, idx)
+            # Candidate scoring runs on per-attribute bincounts instead of a
+            # per-bucket mask loop. Precision stays bit-identical: the row
+            # formulation's bool-array .mean() is an exact integer sum over
+            # n < 2**53 divided once, which equals target_count / coverage
+            # as a single float division. Tie-breaks are pinned to the row
+            # path: within an attribute the lowest bucket achieving the
+            # lexicographic (precision, coverage) max wins (np.unique
+            # ascending + strict >), across attributes the earliest one.
+            best = None  # (precision, coverage, name, bucket, sub)
+            y_cov = y[covered]
             for name, buckets in columns.items():
                 if name in used:
                     continue
                 sub = buckets[covered]
-                for bucket in np.unique(sub):
-                    mask = sub == bucket
-                    coverage = int(mask.sum())
-                    if coverage < self.min_coverage:
-                        continue
-                    idx = covered[mask]
-                    precision = float((y[idx] == target).mean())
-                    key = (precision, coverage)
-                    if best is None or key > (best[0], best[1]):
-                        best = (precision, coverage, name, int(bucket), idx)
+                coverage = np.bincount(sub)
+                target_counts = np.bincount(
+                    sub[y_cov == target], minlength=coverage.size
+                )
+                feasible = np.nonzero(coverage >= self.min_coverage)[0]
+                if feasible.size == 0:
+                    continue
+                precision = target_counts[feasible] / coverage[feasible]
+                top = precision.max()
+                at_top = feasible[precision == top]
+                top_cov = coverage[at_top].max()
+                bucket = int(at_top[coverage[at_top] == top_cov][0])
+                key = (float(top), int(top_cov))
+                if best is None or key > (best[0], best[1]):
+                    best = (key[0], key[1], name, bucket, sub)
             if best is None or best[0] <= precision_now:
                 if conditions and covered.size >= self.min_coverage and precision_now > 0:
                     return covered, conditions
                 return None, conditions
-            _, _, name, bucket, idx = best
+            _, _, name, bucket, sub = best
             conditions.append((name, bucket))
             used.add(name)
-            covered = idx
+            covered = covered[sub == bucket]
+
+    def fit_state(self) -> dict:
+        """Canonical fitted state (see
+        :meth:`AttributeClassifier.fit_state
+        <repro.mining.base.AttributeClassifier.fit_state>`)."""
+        dataset = self._require_fitted()
+        assert self._bucketizer is not None and self._global_counts is not None
+        return {
+            "type": "prism",
+            "class_encoder": dataset.class_encoder.to_state(),
+            "rules": [
+                {
+                    "target_code": rule.target_code,
+                    "conditions": [list(condition) for condition in rule.conditions],
+                    "counts": rule.counts.tolist(),
+                }
+                for rule in self.rules
+            ],
+            "global_counts": self._global_counts.tolist(),
+            "bucketizer": self._bucketizer.to_state(),
+        }
 
     def predict_encoded(self, encoded: Mapping[str, float]) -> Prediction:
         dataset = self._require_fitted()

@@ -109,6 +109,9 @@ class _SplitCandidate:
     gain_ratio: float
     categorical: bool
     threshold: float = 0.0
+    #: the attribute column already gathered for this node's rows, so the
+    #: split application does not fancy-index the full column again
+    column: Optional[np.ndarray] = None
 
 
 class TreeGrower:
@@ -150,32 +153,60 @@ class TreeGrower:
         categorical_remaining: frozenset[str],
         depth: int,
     ) -> Node:
+        node, _ = self._build_scored(indices, weights, categorical_remaining, depth)
+        return node
+
+    def _build_scored(
+        self,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        categorical_remaining: frozenset[str],
+        depth: int,
+    ) -> tuple[Node, Optional[tuple[bool, float]]]:
+        """Build a subtree and return it with its pruning score.
+
+        The score is the lexicographic ``(has_useful_leaf, expErrorConf)``
+        of the *returned* node, computed bottom-up from the child scores
+        in one pass. Recomputing it top-down per pruning decision (as the
+        post-pass :mod:`repro.mining.tree.prune` does) re-walks every
+        subtree once per ancestor — O(nodes × depth); memoizing it here
+        keeps growth O(nodes) while combining the child scores with
+        *exactly* the arithmetic of ``subtree_expected_error_confidence``
+        (same child order, same summation order, same ``total <= 0``
+        guard), so the grown tree is bit-identical either way.
+        """
         counts = self._class_counts(indices, weights)
         total = float(weights.sum())
         config = self.config
+        scoring = config.pruning is PruningStrategy.EXPECTED_ERROR_CONFIDENCE
         if (
             total < 2 * config.min_instances
             or np.count_nonzero(counts > _EPSILON) <= 1
             or (config.max_depth is not None and depth >= config.max_depth)
         ):
-            return Leaf(counts)
-        candidate = self._select_split(indices, weights, counts, categorical_remaining)
+            return Leaf(counts), self._leaf_raw_score(counts) if scoring else None
+        y_node = self.dataset.y[indices]
+        candidate = self._select_split(indices, weights, y_node, categorical_remaining)
         if candidate is None:
-            return Leaf(counts)
+            return Leaf(counts), self._leaf_raw_score(counts) if scoring else None
         if candidate.categorical:
-            node = self._split_categorical(
+            result = self._split_categorical(
                 indices, weights, counts, candidate, categorical_remaining, depth
             )
         else:
-            node = self._split_numeric(
+            result = self._split_numeric(
                 indices, weights, counts, candidate, categorical_remaining, depth
             )
-        if node is None:
-            return Leaf(counts)
-        if config.pruning is PruningStrategy.EXPECTED_ERROR_CONFIDENCE:
-            if self._leaf_score(counts) >= self._subtree_score(node):
-                return Leaf(counts)
-        return node
+        if result is None:
+            return Leaf(counts), self._leaf_raw_score(counts) if scoring else None
+        node, child_scores = result
+        if not scoring:
+            return node, None
+        subtree_score = self._combine_scores(node, child_scores)
+        leaf_useful, leaf_eec = self._leaf_raw_score(counts)
+        if (leaf_useful, leaf_eec + _EPSILON) >= subtree_score:
+            return Leaf(counts), (leaf_useful, leaf_eec)
+        return node, subtree_score
 
     # The paper replaces a subtree by a leaf "whenever this transformation
     # leads to a higher value for expErrorConf" and separately deletes
@@ -187,9 +218,12 @@ class TreeGrower:
     # usefulness component is required because on clean training data a
     # perfectly structured subtree of pure leaves has expErrorConf 0, just
     # like the collapsed leaf, yet only the subtree can detect anything.
-    # The shared scoring functions live in repro.mining.tree.prune.
+    # The shared scoring functions live in repro.mining.tree.prune; the
+    # collapse comparison adds _EPSILON to the leaf's expErrorConf (leaf
+    # wins ties), but the *stored* score of a collapsed leaf is the raw
+    # value — prune.py's recursion never sees the epsilon either.
 
-    def _leaf_score(self, counts: np.ndarray) -> tuple[bool, float]:
+    def _leaf_raw_score(self, counts: np.ndarray) -> tuple[bool, float]:
         from repro.mining.tree.prune import leaf_detection_useful
 
         config = self.config
@@ -197,23 +231,20 @@ class TreeGrower:
             leaf_detection_useful(counts, config.bounds, config.min_detection_confidence),
             expected_error_confidence(
                 counts, config.bounds, config.min_detection_confidence
-            )
-            + _EPSILON,
-        )
-
-    def _subtree_score(self, node: Node) -> tuple[bool, float]:
-        from repro.mining.tree.prune import (
-            subtree_expected_error_confidence,
-            subtree_has_useful_leaf,
-        )
-
-        config = self.config
-        return (
-            subtree_has_useful_leaf(node, config.bounds, config.min_detection_confidence),
-            subtree_expected_error_confidence(
-                node, config.bounds, config.min_detection_confidence
             ),
         )
+
+    @staticmethod
+    def _combine_scores(
+        node: Node, child_scores: Sequence[tuple[Node, tuple[bool, float]]]
+    ) -> tuple[bool, float]:
+        # mirrors subtree_has_useful_leaf / subtree_expected_error_confidence
+        # over already-scored children; child_scores is in children() order
+        useful = any(score[0] for _, score in child_scores)
+        total = node.n
+        if total <= 0:
+            return useful, 0.0
+        return useful, sum(child.n / total * score[1] for child, score in child_scores)
 
     # -- split selection -------------------------------------------------------
 
@@ -221,18 +252,25 @@ class TreeGrower:
         self,
         indices: np.ndarray,
         weights: np.ndarray,
-        counts: np.ndarray,
+        y_node: np.ndarray,
         categorical_remaining: frozenset[str],
     ) -> Optional[_SplitCandidate]:
+        # Tie-break contract (pinned by tests/test_tree_tie_breaks.py):
+        # candidates are evaluated in dataset.base_attrs order and picked
+        # with Python's max(), which keeps the FIRST maximal element — on
+        # equal scores the earlier attribute wins. Any vectorized
+        # reformulation of this selection must preserve first-max
+        # semantics (np.argmax does; np.argmin over negated scores or
+        # sorting do not necessarily).
         candidates: list[_SplitCandidate] = []
         for name in self.dataset.base_attrs:
             encoder = self.dataset.encoders[name]
             if encoder.categorical:
                 if name not in categorical_remaining:
                     continue
-                candidate = self._evaluate_categorical(name, indices, weights)
+                candidate = self._evaluate_categorical(name, indices, weights, y_node)
             else:
-                candidate = self._evaluate_numeric(name, indices, weights)
+                candidate = self._evaluate_numeric(name, indices, weights, y_node)
             if candidate is not None and candidate.gain > _EPSILON:
                 candidates.append(candidate)
         if not candidates:
@@ -245,7 +283,7 @@ class TreeGrower:
         return max(eligible, key=lambda c: c.gain_ratio)
 
     def _evaluate_categorical(
-        self, name: str, indices: np.ndarray, weights: np.ndarray
+        self, name: str, indices: np.ndarray, weights: np.ndarray, y_node: np.ndarray
     ) -> Optional[_SplitCandidate]:
         config = self.config
         codes = self.dataset.columns[name][indices]
@@ -256,7 +294,7 @@ class TreeGrower:
             return None
         n_categories = self.dataset.encoders[name].n_categories
         joint = np.bincount(
-            codes[known] * self.n_labels + self.dataset.y[indices][known],
+            codes[known] * self.n_labels + y_node[known],
             weights=weights[known],
             minlength=n_categories * self.n_labels,
         ).reshape(n_categories, self.n_labels)
@@ -287,10 +325,12 @@ class TreeGrower:
         split_info = _entropy(split_parts)
         if split_info <= _EPSILON:
             return None
-        return _SplitCandidate(name, gain, gain / split_info, categorical=True)
+        return _SplitCandidate(
+            name, gain, gain / split_info, categorical=True, column=codes
+        )
 
     def _evaluate_numeric(
-        self, name: str, indices: np.ndarray, weights: np.ndarray
+        self, name: str, indices: np.ndarray, weights: np.ndarray, y_node: np.ndarray
     ) -> Optional[_SplitCandidate]:
         config = self.config
         values = self.dataset.columns[name][indices]
@@ -300,7 +340,7 @@ class TreeGrower:
         if known_weight <= 0:
             return None
         kv = values[known]
-        ky = self.dataset.y[indices][known]
+        ky = y_node[known]
         kw = weights[known]
         order = np.argsort(kv, kind="stable")
         sv, sy, sw = kv[order], ky[order], kw[order]
@@ -326,14 +366,24 @@ class TreeGrower:
         if not feasible.any():
             return None
         known_entropy = _entropy(total_counts)
-        child_entropy = (
-            left_totals / known_weight * _entropy_rows(left_counts)
-            + right_totals / known_weight * _entropy_rows(right_counts)
+        # Entropy only over feasible boundaries: each row's entropy depends
+        # on that row alone, so subsetting changes no float result, and
+        # argmax over the (order-preserving) subset keeps the row-path
+        # tie-break — the LOWEST cut among equal gains (first maximum).
+        if feasible.all():
+            feasible_at = None
+            lc, rc, lt, rt = left_counts, right_counts, left_totals, right_totals
+        else:
+            feasible_at = np.nonzero(feasible)[0]
+            lc, rc = left_counts[feasible_at], right_counts[feasible_at]
+            lt, rt = left_totals[feasible_at], right_totals[feasible_at]
+        gains_known = known_entropy - (
+            lt / known_weight * _entropy_rows(lc)
+            + rt / known_weight * _entropy_rows(rc)
         )
-        gains_known = known_entropy - child_entropy
-        gains_known[~feasible] = -np.inf
-        best = int(np.argmax(gains_known))
-        gain_known = float(gains_known[best])
+        best_local = int(np.argmax(gains_known))
+        best = best_local if feasible_at is None else int(feasible_at[best_local])
+        gain_known = float(gains_known[best_local])
         if config.numeric_penalty:
             gain_known -= math.log2(max(change.size, 1)) / known_weight
         if gain_known <= _EPSILON:
@@ -349,7 +399,12 @@ class TreeGrower:
         if split_info <= _EPSILON:
             return None
         return _SplitCandidate(
-            name, gain, gain / split_info, categorical=False, threshold=threshold
+            name,
+            gain,
+            gain / split_info,
+            categorical=False,
+            threshold=threshold,
+            column=values,
         )
 
     # -- split application -----------------------------------------------------
@@ -362,8 +417,12 @@ class TreeGrower:
         candidate: _SplitCandidate,
         categorical_remaining: frozenset[str],
         depth: int,
-    ) -> Optional[Node]:
-        codes = self.dataset.columns[candidate.attribute][indices]
+    ) -> Optional[tuple[Node, list[tuple[Node, Optional[tuple[bool, float]]]]]]:
+        codes = (
+            candidate.column
+            if candidate.column is not None
+            else self.dataset.columns[candidate.attribute][indices]
+        )
         known = codes >= 0
         known_weight = float(weights[known].sum())
         if known_weight <= 0:
@@ -374,6 +433,7 @@ class TreeGrower:
         missing_w = weights[~known]
         branches: dict[int, Node] = {}
         fractions: dict[int, float] = {}
+        child_scores: list[tuple[Node, Optional[tuple[bool, float]]]] = []
         for code in present_codes:
             mask = known & (codes == code)
             branch_weight = float(weights[mask].sum())
@@ -385,11 +445,13 @@ class TreeGrower:
             if missing_idx.size:
                 child_idx = np.concatenate([child_idx, missing_idx])
                 child_w = np.concatenate([child_w, missing_w * fraction])
-            branches[int(code)] = self._build(child_idx, child_w, remaining, depth + 1)
+            child, score = self._build_scored(child_idx, child_w, remaining, depth + 1)
+            branches[int(code)] = child
             fractions[int(code)] = fraction
+            child_scores.append((child, score))
         if len(branches) < 2:
             return None
-        return NominalSplit(counts, candidate.attribute, branches, fractions)
+        return NominalSplit(counts, candidate.attribute, branches, fractions), child_scores
 
     def _split_numeric(
         self,
@@ -399,8 +461,12 @@ class TreeGrower:
         candidate: _SplitCandidate,
         categorical_remaining: frozenset[str],
         depth: int,
-    ) -> Optional[Node]:
-        values = self.dataset.columns[candidate.attribute][indices]
+    ) -> Optional[tuple[Node, list[tuple[Node, Optional[tuple[bool, float]]]]]]:
+        values = (
+            candidate.column
+            if candidate.column is not None
+            else self.dataset.columns[candidate.attribute][indices]
+        )
         known = ~np.isnan(values)
         known_weight = float(weights[known].sum())
         if known_weight <= 0:
@@ -421,11 +487,12 @@ class TreeGrower:
             low_w = np.concatenate([low_w, missing_w * low_fraction])
             high_idx = np.concatenate([high_idx, missing_idx])
             high_w = np.concatenate([high_w, missing_w * (1.0 - low_fraction)])
-        low = self._build(low_idx, low_w, categorical_remaining, depth + 1)
-        high = self._build(high_idx, high_w, categorical_remaining, depth + 1)
-        return NumericSplit(
+        low, low_score = self._build_scored(low_idx, low_w, categorical_remaining, depth + 1)
+        high, high_score = self._build_scored(high_idx, high_w, categorical_remaining, depth + 1)
+        node = NumericSplit(
             counts, candidate.attribute, candidate.threshold, low, high, low_fraction
         )
+        return node, [(low, low_score), (high, high_score)]
 
 
 def grow_tree(dataset: Dataset, config: Optional[TreeConfig] = None) -> Node:

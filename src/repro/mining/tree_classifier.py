@@ -68,6 +68,21 @@ class TreeClassifier(AttributeClassifier):
         clone.root = self.root
         return clone
 
+    def fit_state(self) -> dict:
+        """Canonical fitted state (see
+        :meth:`AttributeClassifier.fit_state`): the same node dictionaries
+        :mod:`repro.core.serialize` persists, plus the class vocabulary."""
+        from repro.core.serialize import _node_to_dict
+
+        dataset = self._require_fitted()
+        assert self.root is not None
+        return {
+            "type": "tree",
+            "base_attrs": list(dataset.base_attrs),
+            "class_encoder": dataset.class_encoder.to_state(),
+            "tree": _node_to_dict(self.root),
+        }
+
     def rules(self, *, drop_useless: bool = True) -> list[TreeRule]:
         """The tree as a rule set (sec. 5.4), by default without rules
         that cannot contribute to an error detection."""

@@ -70,6 +70,8 @@ def _parse_config(payload: Optional[Mapping[str, Any]]) -> AuditorConfig:
         "base_attributes",
         "audited_attributes",
         "n_jobs",
+        "fit_n_jobs",
+        "fit_path",
     }
     unknown = sorted(set(payload) - allowed)
     if unknown:
@@ -414,6 +416,8 @@ def _config_json(config: AuditorConfig) -> dict[str, Any]:
             else None
         ),
         "n_jobs": config.n_jobs,
+        "fit_n_jobs": config.fit_n_jobs,
+        "fit_path": config.fit_path,
     }
 
 

@@ -52,6 +52,10 @@ class ExperimentConfig:
     #: results are bit-identical across job counts, so sweeps may choose
     #: whatever the machine affords
     n_jobs: int = 1
+    #: worker processes for structure induction (one audited attribute's
+    #: classifier per task); the fitted model is byte-identical across
+    #: job counts, so throughput sweeps may scale this freely
+    fit_n_jobs: int = 1
     #: model-registry directory for the two pinning knobs below
     #: (:class:`~repro.registry.ModelRegistry` root or path)
     registry_dir: Optional[str] = None
@@ -166,7 +170,7 @@ class TestEnvironment:
         else:
             session = AuditSession(profile.schema, config.auditor)
             started = time.perf_counter()
-            session.fit(dirty)
+            session.fit(dirty, n_jobs=config.fit_n_jobs)
             fit_seconds = time.perf_counter() - started
             if config.register_model_as is not None:
                 if config.registry_dir is None:

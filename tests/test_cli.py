@@ -702,7 +702,11 @@ class TestModelRegistryCli:
         assert provenance["source_format"] == "csv"
         assert provenance["schema_hash"] and provenance["created_at"]
         assert provenance["n_rows"] >= 600  # pollution may duplicate rows
-        assert provenance["config"] == {"min_error_confidence": 0.8}
+        assert provenance["config"] == {
+            "min_error_confidence": 0.8,
+            "fit_n_jobs": 1,
+            "fit_path": "columns",
+        }
 
     def test_models_list_tag_rm(self, workspace, tmp_path, capsys):
         _fitted_workspace(workspace)

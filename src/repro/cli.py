@@ -303,6 +303,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the deviation check (default 1 = serial; "
         "-1 = all cores); output is identical regardless of job count",
     )
+    p_audit.add_argument(
+        "--engine",
+        choices=("memory", "sql"),
+        default="memory",
+        help="execution engine: 'memory' extracts and audits in-process "
+        "(default); 'sql' compiles the fitted model to SQL and screens "
+        "deviations inside the SQLite --input itself — same ranked "
+        "findings, with a one-line notice and clean fallback to memory "
+        "when the input is not SQLite or the model (e.g. kNN) has no "
+        "SQL form",
+    )
 
     p_evaluate = sub.add_parser(
         "evaluate", help="sec. 4.3 metrics against a pollution log"
@@ -652,6 +663,24 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         )
     auditor = _load_model(args.model, args.registry)
     quiet = args.format == "jsonl" and not args.findings_out
+    # engine selection: 'sql' holds only when the input is SQLite AND
+    # every audited attribute's model compiles — otherwise print the
+    # one-line notice and audit in memory (identical findings either way)
+    engine = args.engine
+    if engine == "sql":
+        from repro.compile import compilation_plan
+
+        if _resolve_format(args.input, args.input_format) != "sqlite":
+            print(
+                "note: --engine sql needs a SQLite --input; auditing in memory",
+                file=sys.stderr,
+            )
+            engine = "memory"
+        else:
+            plan = compilation_plan(auditor)
+            if not plan.compilable:
+                print(f"note: {plan.notice()}", file=sys.stderr)
+                engine = "memory"
     if args.chunk_size is not None:
         # keep only the findings across chunks (the output), never the
         # per-row confidences — peak memory must not grow with row count
@@ -659,12 +688,10 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         collected: list[Finding] = []
         n_rows = 0
         n_chunks = 0
-        with _open_input(
-            auditor.schema, args.input, args.input_format, args.null_marker
-        ) as source:
-            for chunk_report in session.audit_source(
-                source, chunk_size=args.chunk_size, n_jobs=args.jobs
-            ):
+
+        def _consume(chunk_reports) -> None:
+            nonlocal n_rows, n_chunks
+            for chunk_report in chunk_reports:
                 n_chunks += 1
                 n_rows += chunk_report.n_rows
                 collected.extend(chunk_report.findings)
@@ -673,12 +700,44 @@ def _cmd_audit(args: argparse.Namespace) -> int:
                         f"  chunk {n_chunks}: {chunk_report.n_rows} records, "
                         f"{chunk_report.n_suspicious} suspicious"
                     )
+
+        if engine == "sql":
+            # hand the raw location through so the session can push the
+            # audit into the database (one whole-table report) instead
+            # of opening an extraction stream
+            _consume(
+                session.audit_source(
+                    args.input,
+                    chunk_size=args.chunk_size,
+                    n_jobs=args.jobs,
+                    engine="sql",
+                )
+            )
+        else:
+            with _open_input(
+                auditor.schema, args.input, args.input_format, args.null_marker
+            ) as source:
+                _consume(
+                    session.audit_source(
+                        source, chunk_size=args.chunk_size, n_jobs=args.jobs
+                    )
+                )
         findings = sorted(collected, key=lambda f: (-f.confidence, f.row, f.attribute))
     else:
-        table = _read_input(
-            auditor.schema, args.input, args.input_format, args.null_marker
-        )
-        report = auditor.audit(table, n_jobs=args.jobs)
+        report = None
+        if engine == "sql":
+            from repro.compile import NotCompilable, audit_sqlite, sqlite_location
+
+            database, sql_table = sqlite_location(args.input) or (args.input, None)
+            try:
+                report = audit_sqlite(auditor, database, table=sql_table)
+            except NotCompilable as exc:
+                print(f"note: {exc}; auditing in memory", file=sys.stderr)
+        if report is None:
+            table = _read_input(
+                auditor.schema, args.input, args.input_format, args.null_marker
+            )
+            report = auditor.audit(table, n_jobs=args.jobs)
         findings = report.findings
         n_rows = report.n_rows
     n_suspicious = len({finding.row for finding in findings})

@@ -1,0 +1,59 @@
+"""Model → SQL compilation: push deviation detection into the database.
+
+The audit pipeline normally extracts every row out of the warehouse and
+streams it through Python. This package instead compiles the *fitted*
+models into SQL — trees path-by-path into nested ``CASE`` routing, 1R
+and PRISM rules into disjunctive bucket conditions, naive Bayes into
+arithmetic log-posterior scoring — and emits one deviation-screening
+query per audited attribute that runs entirely inside SQLite. Only the
+rows the screen cannot certify clean come back to Python, where they
+are re-audited through the unmodified in-memory code path, so the
+resulting :class:`~repro.core.findings.AuditReport` matches the
+in-memory engine finding for finding (the contract, its per-family SQL
+shapes, and the one documented divergence are specified in
+``docs/sql_compilation.md``).
+
+Entry points
+------------
+* :func:`compilation_plan` — compile a fitted auditor; inspect
+  ``plan.compilable`` / ``plan.notice()`` for the fallback decision.
+* :func:`audit_sqlite` / :func:`audit_connection` — run the pushdown
+  audit against a database file / an open connection.
+* :func:`audit_table_sql` — the ``audit(engine="sql")`` path for
+  in-memory tables (materialize to ``:memory:``, then push down).
+* :class:`NotCompilable` — raised wherever a model, schema, or engine
+  has no SQL form; every caller falls back to the in-memory batch path.
+
+Dialects are descriptor-driven (:class:`SqlDialect`); only
+:data:`~repro.compile.dialect.SQLITE` is executable today, but the
+emitted SQL keeps identifier quoting, placeholders, and limits behind
+the descriptor so DuckDB/Postgres can slot in later.
+"""
+
+from repro.compile.dialect import SQLITE, SqlDialect
+from repro.compile.engine import (
+    ALIAS_PREFIX,
+    AttributeStatement,
+    CompilationPlan,
+    audit_connection,
+    audit_sqlite,
+    audit_table_sql,
+    compilation_plan,
+    sqlite_location,
+)
+from repro.compile.screen import FamilyScreen, NotCompilable
+
+__all__ = [
+    "SqlDialect",
+    "SQLITE",
+    "ALIAS_PREFIX",
+    "AttributeStatement",
+    "CompilationPlan",
+    "FamilyScreen",
+    "NotCompilable",
+    "compilation_plan",
+    "audit_connection",
+    "audit_sqlite",
+    "audit_table_sql",
+    "sqlite_location",
+]

@@ -408,7 +408,13 @@ class DataAuditor:
 
     # -- deviation detection ---------------------------------------------------
 
-    def audit(self, table: Table, *, n_jobs: Optional[int] = None) -> AuditReport:
+    def audit(
+        self,
+        table: Table,
+        *,
+        n_jobs: Optional[int] = None,
+        engine: Optional[str] = None,
+    ) -> AuditReport:
         """Check every record of *table* for deviations (sec. 5.2).
 
         The table may be the training table itself (the paper: "a data
@@ -432,13 +438,33 @@ class DataAuditor:
         counts are cpu-relative (``-1`` = all cores). The report is
         bit-identical either way — the fold over per-attribute results
         is deterministic.
+
+        *engine* selects the execution engine: ``"memory"`` (the
+        default) is the in-process batch path above; ``"sql"`` compiles
+        the fitted models to SQL (:mod:`repro.compile`), stages the
+        table in a private ``:memory:`` SQLite database, and screens
+        deviations in-database — same ranked findings, confidences
+        recomputed Python-side (``docs/sql_compilation.md``). A model
+        with no SQL form (e.g. kNN) falls back to the in-memory path
+        cleanly; ``n_jobs`` applies only to that path.
         """
         from repro.core.parallel import audit_table_parallel, resolve_n_jobs
 
+        if engine not in (None, "memory", "sql"):
+            raise ValueError(
+                f"engine must be 'memory' or 'sql', got {engine!r}"
+            )
         if not self.classifiers:
             raise RuntimeError("auditor is not fitted")
         if table.schema != self.schema:
             raise ValueError("table schema does not match the auditor's schema")
+        if engine == "sql":
+            from repro.compile import NotCompilable, audit_table_sql
+
+            try:
+                return audit_table_sql(self, table)
+            except NotCompilable:
+                pass  # clean fallback to the in-memory batch path
         jobs = resolve_n_jobs(self.config.n_jobs if n_jobs is None else n_jobs)
         if jobs > 1 and len(self.classifiers) > 1 and table.n_rows > 0:
             return audit_table_parallel(self, table, jobs)

@@ -249,15 +249,24 @@ class AuditSession:
 
     # -- online: deviation detection ----------------------------------------
 
-    def audit(self, table: Table, *, n_jobs: Optional[int] = None) -> AuditReport:
+    def audit(
+        self,
+        table: Table,
+        *,
+        n_jobs: Optional[int] = None,
+        engine: Optional[str] = None,
+    ) -> AuditReport:
         """Check one whole table (the batch-vectorized path).
 
         ``n_jobs > 1`` audits the table's attributes on a process pool
         (:func:`~repro.core.parallel.audit_table_parallel`); the default
         comes from :attr:`AuditorConfig.n_jobs
-        <repro.core.auditor.AuditorConfig.n_jobs>`.
+        <repro.core.auditor.AuditorConfig.n_jobs>`. ``engine="sql"``
+        screens deviations in-database instead (:mod:`repro.compile`),
+        falling back in memory when the model has no SQL form; see
+        :meth:`DataAuditor.audit <repro.core.auditor.DataAuditor.audit>`.
         """
-        return self.auditor.audit(table, n_jobs=n_jobs)
+        return self.auditor.audit(table, n_jobs=n_jobs, engine=engine)
 
     def audit_chunks(
         self, chunks: Iterable[Table], *, n_jobs: Optional[int] = None
@@ -311,6 +320,7 @@ class AuditSession:
         *,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         n_jobs: Optional[int] = None,
+        engine: Optional[str] = None,
     ) -> Iterator[AuditReport]:
         """Check any stored table chunk by chunk (the online half of
         sec. 2.2, on the warehouse's own formats).
@@ -324,7 +334,30 @@ class AuditSession:
         in particular, ``AuditReport.merge`` of the yielded reports
         equals the whole-table audit for every backend at every chunk
         size and job count.
+
+        ``engine="sql"`` pushes the deviation screen into the database
+        when *source* is a SQLite location (a ``.db``/``.sqlite`` path
+        or ``sqlite:`` URI) and the model compiles
+        (:mod:`repro.compile`): the generator then yields exactly one
+        whole-table report (no extraction, so chunking does not apply).
+        Non-SQLite sources and non-compilable models fall back to the
+        chunked in-memory path above, byte-identically.
         """
+        if engine not in (None, "memory", "sql"):
+            raise ValueError(f"engine must be 'memory' or 'sql', got {engine!r}")
+        if engine == "sql":
+            from repro.compile import NotCompilable, audit_sqlite, sqlite_location
+
+            location = sqlite_location(source)
+            if location is not None:
+                database, table = location
+                try:
+                    report = audit_sqlite(self.auditor, database, table=table)
+                except NotCompilable:
+                    report = None  # clean fallback to the chunked path
+                if report is not None:
+                    yield report
+                    return
         source, owned = self._resolve_source(source)
         try:
             yield from self.audit_chunks(source.chunks(chunk_size), n_jobs=n_jobs)

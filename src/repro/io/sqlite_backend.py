@@ -215,20 +215,32 @@ class SqliteTableSink(TableSink):
     ``if_exists`` decides what happens when the target table is already
     present: ``"replace"`` (default) drops and recreates it, ``"fail"``
     raises, ``"append"`` keeps it and adds rows.
+
+    Instead of a *database* path the caller may hand in an open
+    ``connection`` (opened with ``isolation_level=None`` so the sink's
+    explicit transaction works); the sink then commits or rolls back as
+    usual but never closes the connection — how the SQL pushdown engine
+    stages an in-memory table into its private ``:memory:`` database.
     """
 
     def __init__(
         self,
         schema: Schema,
-        database: Union[str, Path],
+        database: Optional[Union[str, Path]] = None,
         *,
         table: Optional[str] = None,
         if_exists: str = "replace",
+        connection: Optional[sqlite3.Connection] = None,
     ):
         super().__init__(schema)
         if if_exists not in ("replace", "fail", "append"):
             raise ValueError(
                 f"if_exists must be 'replace', 'fail' or 'append', got {if_exists!r}"
+            )
+        if (database is None) == (connection is None):
+            raise ValueError(
+                "pass exactly one of database (a path the sink opens and "
+                "closes) or connection (an open connection the caller owns)"
             )
         self.table = table or DEFAULT_TABLE
         self.if_exists = if_exists
@@ -236,7 +248,15 @@ class SqliteTableSink(TableSink):
         # every chunk ride one transaction, so a failed write rolls back
         # whole — Python's sqlite3 would otherwise autocommit DDL and a
         # dying replace-write would destroy the pre-existing table
-        self._connection = sqlite3.connect(database, isolation_level=None)
+        if connection is None:
+            self._owns_connection = True
+            self._connection = sqlite3.connect(database, isolation_level=None)
+        else:
+            # caller-provided connection (e.g. the SQL pushdown engine's
+            # :memory: staging database): committed/rolled back here,
+            # closed by the caller; must be in explicit-transaction mode
+            self._owns_connection = False
+            self._connection = connection
         self._insert = "INSERT INTO {} ({}) VALUES ({})".format(
             _quote(self.table),
             ", ".join(_quote(name) for name in schema.names),
@@ -280,7 +300,8 @@ class SqliteTableSink(TableSink):
             self._connection.commit()
         except sqlite3.ProgrammingError:  # already closed
             return
-        self._connection.close()
+        if self._owns_connection:
+            self._connection.close()
 
     def abort(self) -> None:
         # DDL is transactional in SQLite, so rolling back restores even a
@@ -290,4 +311,5 @@ class SqliteTableSink(TableSink):
             self._connection.rollback()
         except sqlite3.ProgrammingError:  # already closed
             return
-        self._connection.close()
+        if self._owns_connection:
+            self._connection.close()

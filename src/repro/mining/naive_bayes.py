@@ -102,6 +102,31 @@ class NaiveBayesClassifier(AttributeClassifier):
             "n_training": self._n_training,
         }
 
+    @property
+    def priors(self) -> Optional[np.ndarray]:
+        """Smoothed class priors (``(n_labels,)``), or ``None`` before
+        fitting. Read-only model state for rule extraction
+        (:mod:`repro.compile`)."""
+        return self._priors
+
+    @property
+    def n_training(self) -> float:
+        """Training-set size — the support every prediction reports."""
+        return self._n_training
+
+    def likelihood_tables(self) -> dict[str, np.ndarray]:
+        """The per-attribute smoothed likelihood tables
+        (``(n_labels, n_values)``), in the exact order
+        :meth:`predict_batch` multiplies the factors. Treat as
+        read-only."""
+        return dict(self._tables)
+
+    def bin_discretizer(self, name: str) -> Optional[EqualFrequencyDiscretizer]:
+        """The fitted equal-frequency discretizer binning ordered
+        attribute *name*, or ``None`` for categorical attributes (an
+        ordered attribute with a likelihood table always has one)."""
+        return self._discretizers.get(name)
+
     def predict_encoded(self, encoded: Mapping[str, float]) -> Prediction:
         dataset = self._require_fitted()
         assert self._priors is not None

@@ -158,6 +158,28 @@ class OneRClassifier(AttributeClassifier):
             "bucketizer": self._bucketizer.to_state(),
         }
 
+    @property
+    def bucket_counts(self) -> Optional[np.ndarray]:
+        """Per-bucket class-count table of the chosen attribute
+        (``(n_buckets, n_labels)``), or ``None`` before fitting / when no
+        attribute was usable. Read-only model state for rule extraction
+        (:mod:`repro.compile`)."""
+        return self._bucket_counts
+
+    @property
+    def global_counts(self) -> Optional[np.ndarray]:
+        """Class counts over the whole training table, or ``None`` before
+        fitting — the fallback distribution for empty buckets."""
+        return self._global_counts
+
+    def bucket_discretizer(self, name: str) -> Optional[EqualFrequencyDiscretizer]:
+        """The fitted equal-frequency discretizer bucketing ordered
+        attribute *name*, or ``None`` when *name* is categorical or had no
+        finite training values (its bucket is then constant 0)."""
+        self._require_fitted()
+        assert self._bucketizer is not None
+        return self._bucketizer.discretizers.get(name)
+
     def predict_encoded(self, encoded: Mapping[str, float]) -> Prediction:
         dataset = self._require_fitted()
         assert self._bucketizer is not None and self._global_counts is not None
@@ -366,6 +388,38 @@ class PrismClassifier(AttributeClassifier):
             "bucketizer": self._bucketizer.to_state(),
         }
 
+    @property
+    def global_counts(self) -> Optional[np.ndarray]:
+        """Class counts over the (sub)sampled training rows, or ``None``
+        before fitting — the distribution of rows no rule matches."""
+        return self._global_counts
+
+    def bucket_discretizer(self, name: str) -> Optional[EqualFrequencyDiscretizer]:
+        """The fitted equal-frequency discretizer bucketing ordered
+        attribute *name*, or ``None`` when *name* is categorical or had no
+        finite training values (its bucket is then constant 0)."""
+        self._require_fitted()
+        assert self._bucketizer is not None
+        return self._bucketizer.discretizers.get(name)
+
+    def batch_rule_order(self) -> list[int]:
+        """Indices into :attr:`rules` in batch evaluation order —
+        precision descending, then support descending, then original
+        index — under which the first matching rule claims a row. This is
+        the exact order :meth:`predict_batch` applies (and
+        :mod:`repro.compile` replays as a ``CASE`` chain)."""
+        return sorted(
+            range(len(self.rules)),
+            key=lambda i: (
+                -(
+                    float(self.rules[i].counts[self.rules[i].target_code])
+                    / max(self.rules[i].n, 1.0)
+                ),
+                -self.rules[i].n,
+                i,
+            ),
+        )
+
     def predict_encoded(self, encoded: Mapping[str, float]) -> Prediction:
         dataset = self._require_fitted()
         assert self._bucketizer is not None and self._global_counts is not None
@@ -409,17 +463,7 @@ class PrismClassifier(AttributeClassifier):
         # assign each row the best matching rule, mirroring the row path's
         # max() over (precision, support): rules visited best-first, ties
         # broken by original rule order, first match per row wins
-        order = sorted(
-            range(len(self.rules)),
-            key=lambda i: (
-                -(
-                    float(self.rules[i].counts[self.rules[i].target_code])
-                    / max(self.rules[i].n, 1.0)
-                ),
-                -self.rules[i].n,
-                i,
-            ),
-        )
+        order = self.batch_rule_order()
         unassigned = np.ones(length, dtype=bool)
         for index in order:
             if not unassigned.any():

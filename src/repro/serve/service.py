@@ -247,9 +247,14 @@ class AuditService:
         ``"source"`` (a server-side ``repro.io`` location, optionally
         with ``"format"``) or ``"rows"`` (inline JSON objects);
         optional ``"jobs"`` and ``"chunk_size"`` override the daemon
-        defaults. Returns ``(summary headers, JSONL line stream)`` —
-        the stream is byte-identical to the CLI's
-        ``repro audit --format jsonl`` on the same model and table.
+        defaults, and ``"engine": "sql"`` pushes the deviation screen
+        into the database (:mod:`repro.compile`) when the source is
+        SQLite and the model compiles — the summary's ``engine`` field
+        reports the engine actually selected, with a ``notice`` line
+        when the request fell back to memory. Returns ``(summary
+        headers, JSONL line stream)`` — the stream is byte-identical to
+        the CLI's ``repro audit --format jsonl`` on the same model and
+        table, whichever engine ran.
         """
         ref = _require(payload, "model")
         auditor = self._load_model(ref)
@@ -264,11 +269,26 @@ class AuditService:
             raise ServiceError(
                 400, "pass exactly one of 'source' (a location) or 'rows' (inline)"
             )
+        engine = payload.get("engine") or "memory"
+        if engine not in ("memory", "sql"):
+            raise ServiceError(400, f"'engine' must be 'memory' or 'sql', got {engine!r}")
+        notice = None
+        if engine == "sql":
+            from repro.compile import compilation_plan, sqlite_location
+
+            if has_source and sqlite_location(payload["source"]) is None:
+                notice = "source is not SQLite; auditing in memory"
+                engine = "memory"
+            else:
+                plan = compilation_plan(auditor)
+                if not plan.compilable:
+                    notice = plan.notice()
+                    engine = "memory"
         findings: list[Finding] = []
         n_rows = 0
         if has_rows:
             table = self._table_from_rows(auditor, payload["rows"])
-            report = session.audit(table, n_jobs=jobs)
+            report = session.audit(table, n_jobs=jobs, engine=engine)
             findings = report.findings  # already (-confidence, row, attribute)
             n_rows = report.n_rows
         else:
@@ -277,6 +297,7 @@ class AuditService:
                     payload["source"],
                     chunk_size=chunk_size,
                     n_jobs=jobs,
+                    engine=engine,
                 )
                 for report in reports:
                     findings.extend(report.findings)
@@ -292,7 +313,10 @@ class AuditService:
             "rows": n_rows,
             "findings": len(findings),
             "suspicious": len({f.row for f in findings}),
+            "engine": engine,
         }
+        if notice is not None:
+            summary["notice"] = notice
         return summary, _findings_jsonl(findings)
 
     # -- GET/POST /monitors --------------------------------------------------

@@ -42,6 +42,13 @@ def test_warehouse_loading():
     assert "seeded errors caught: 3/3" in output
 
 
+def test_sql_pushdown():
+    output = _run("sql_pushdown.py")
+    assert "model compiled to SQL: 8 screening queries" in output
+    assert "findings byte-identical to the in-memory audit" in output
+    assert "row    17 GBM" in output
+
+
 def test_calibration_workflow():
     output = _run("calibration_workflow.py")
     assert "algorithm selection" in output

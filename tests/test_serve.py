@@ -191,6 +191,7 @@ class TestServiceEndpoints:
             ({"model": "svc", "rows": "nope"}, 400, "must be a list"),
             ({"model": "svc", "rows": [], "chunk_size": 0}, 400, "chunk_size"),
             ({"model": "svc", "rows": [{"A": "q"}]}, 400, "invalid rows payload"),
+            ({"model": "svc", "rows": [], "engine": "duckdb"}, 400, "'engine'"),
         ],
     )
     def test_audit_rejections(self, service, payload, status, fragment):
@@ -198,6 +199,31 @@ class TestServiceEndpoints:
             service.audit(payload)
         assert excinfo.value.status == status
         assert fragment in str(excinfo.value)
+
+    def test_audit_engine_sql_matches_memory(self, service, corpus):
+        from repro.io.sqlite_backend import SqliteTableSink
+
+        database = corpus["root"] / "load.db"
+        if not database.exists():
+            with SqliteTableSink(corpus["schema"], database, table="loads") as sink:
+                sink.write(corpus["load"])
+        url = f"sqlite:///{database}?table=loads"
+        memory_summary, memory_lines = service.audit({"model": "svc", "source": url})
+        sql_summary, sql_lines = service.audit(
+            {"model": "svc", "source": url, "engine": "sql"}
+        )
+        assert "".join(sql_lines) == "".join(memory_lines)
+        assert memory_summary["engine"] == "memory"
+        assert sql_summary["engine"] == "sql"
+        assert "notice" not in sql_summary  # pushdown ran, no fallback
+
+    def test_audit_engine_sql_csv_falls_back_with_notice(self, service, corpus):
+        summary, lines = service.audit(
+            {"model": "svc", "source": str(corpus["load_csv"]), "engine": "sql"}
+        )
+        assert summary["engine"] == "memory"
+        assert "not SQLite" in summary["notice"]
+        assert summary["findings"] == "".join(lines).count("\n")
 
     def test_model_cache_reuses_loaded_auditor(self, service):
         service.audit({"model": "svc", "rows": []})

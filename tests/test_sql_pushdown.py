@@ -1,0 +1,347 @@
+"""SQL pushdown parity suite: ``engine="sql"`` must match the in-memory
+audit finding for finding.
+
+The contract under test (``docs/sql_compilation.md``): for every
+compilable model family — tree, 1R, PRISM, naive Bayes — the pushdown
+engine returns the same :class:`~repro.core.findings.AuditReport`
+content as the in-memory batch path: the identical ranked findings list
+(bit-equal confidences included, since ``Finding`` equality compares the
+floats), the same suspicious-row ranking, and the same record
+confidences on every flagged row. The fixtures deliberately cover the
+awkward inputs: nulls, out-of-distribution values the training table
+never showed, exact ties, and domain-boundary numerics/dates.
+
+Non-compilable configurations (kNN) and non-SQLite sources must fall
+back to the in-memory path cleanly — same findings, one-line notice.
+"""
+
+import datetime
+import random
+import sqlite3
+
+import pytest
+
+from repro.compile import (
+    ALIAS_PREFIX,
+    NotCompilable,
+    audit_sqlite,
+    audit_table_sql,
+    compilation_plan,
+)
+from repro.core.auditor import AuditorConfig, DataAuditor
+from repro.core.findings import AuditReport
+from repro.core.session import AuditSession
+from repro.io.csv_backend import CsvTableSink
+from repro.io.registry import open_source
+from repro.io.sqlite_backend import SqliteTableSink
+from repro.mining.knn import KnnClassifier
+from repro.mining.naive_bayes import NaiveBayesClassifier
+from repro.mining.rule_induction import OneRClassifier, PrismClassifier
+from repro.mining.tree_classifier import TreeClassifier
+from repro.schema import Schema, Table, date, nominal, numeric
+
+FAMILIES = {
+    "tree": lambda config: TreeClassifier(),
+    "one_r": lambda config: OneRClassifier(n_bins=config.n_bins),
+    "prism": lambda config: PrismClassifier(n_bins=config.n_bins),
+    "naive_bayes": lambda config: NaiveBayesClassifier(n_bins=config.n_bins),
+}
+
+
+def _rich_schema() -> Schema:
+    return Schema(
+        [
+            nominal("A", ["a", "b", "c"]),
+            nominal("B", ["x", "y"]),
+            numeric("N", 0, 100, integer=True),
+            numeric("M", 0, 100, integer=True),
+            numeric("F", 0.0, 1.0),
+            date("D", datetime.date(2000, 1, 1), datetime.date(2001, 12, 31)),
+        ]
+    )
+
+
+def _rich_tables(seed=29, n_train=600, n_audit=260):
+    """(train, audit) over every attribute kind.
+
+    Training only ever sees ``A in {a, b}``; the audit table adds ``c``
+    rows (in-domain but out-of-distribution), nulls in every column,
+    exact-tie duplicates, and domain-boundary numerics and dates.
+    """
+    rng = random.Random(seed)
+    schema = _rich_schema()
+    rule = {"a": "x", "b": "y", "c": "x"}
+    bands = {"a": (0, 30), "b": (35, 65), "c": (70, 100)}
+
+    def row(a):
+        b = rule[a] if rng.random() > 0.03 else rng.choice(["x", "y"])
+        base = datetime.date(2001 if a == "c" else 2000, 1, 1)
+        return [
+            a,
+            b,
+            rng.randint(*bands[a]),
+            rng.randint(0, 100),
+            round(rng.random(), 6),
+            base + datetime.timedelta(days=rng.randrange(300)),
+        ]
+
+    train = Table(schema, [row(rng.choice("ab")) for _ in range(n_train)])
+    audit_rows = [row(rng.choice("abc")) for _ in range(n_audit)]
+    for i in range(0, n_audit, 17):  # nulls, cycling through the columns
+        audit_rows[i][(i // 17) % len(schema)] = None
+    audit_rows += [  # exact ties: identical inputs, conflicting classes
+        ["a", "x", 5, 50, 0.5, datetime.date(2000, 6, 1)],
+        ["a", "y", 5, 50, 0.5, datetime.date(2000, 6, 1)],
+    ]
+    audit_rows += [  # domain boundaries
+        ["b", "y", 0, 100, 0.0, datetime.date(2000, 1, 1)],
+        ["b", "y", 100, 0, 1.0, datetime.date(2001, 12, 31)],
+    ]
+    return train, Table(schema, audit_rows)
+
+
+def _fitted(factory, train):
+    config = AuditorConfig(min_error_confidence=0.8, classifier_factory=factory)
+    return DataAuditor(train.schema, config).fit(train)
+
+
+def _assert_reports_match(memory: AuditReport, sql: AuditReport) -> None:
+    assert sql.n_rows == memory.n_rows
+    assert sql.findings == memory.findings  # Finding eq is bit-exact on floats
+    assert sql.suspicious_rows() == memory.suspicious_rows()
+    assert sql.min_error_confidence == memory.min_error_confidence
+    for finding in memory.findings:  # flagged rows keep exact confidences
+        assert sql.confidence_of(finding.row) == memory.confidence_of(finding.row)
+
+
+class TestFamilyParity:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_findings_byte_identical(self, family):
+        train, audit = _rich_tables()
+        auditor = _fitted(FAMILIES[family], train)
+        plan = compilation_plan(auditor)
+        assert plan.compilable and plan.reasons == {}
+        memory = auditor.audit(audit)
+        assert memory.findings, "fixture must actually flag deviations"
+        _assert_reports_match(memory, audit_table_sql(auditor, audit))
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_self_audit_parity(self, family):
+        # fit table == audit table: the all-clean regime where the screen
+        # should certify nearly everything without a Python recheck
+        train, _ = _rich_tables()
+        auditor = _fitted(FAMILIES[family], train)
+        _assert_reports_match(auditor.audit(train), audit_table_sql(auditor, train))
+
+    def test_record_confidence_censoring_is_one_sided(self):
+        # the single documented divergence: rows the screen certifies
+        # clean keep confidence 0.0; flagged rows stay exact, so the
+        # SQL confidence can never exceed the in-memory one
+        train, audit = _rich_tables()
+        auditor = _fitted(FAMILIES["tree"], train)
+        memory = auditor.audit(audit)
+        sql = audit_table_sql(auditor, audit)
+        assert any(
+            s < m for s, m in zip(sql.record_confidence, memory.record_confidence)
+        ), "fixture must exercise the censoring"
+        for s, m in zip(sql.record_confidence, memory.record_confidence):
+            assert s <= m
+
+    def test_engine_flag_on_audit(self):
+        train, audit = _rich_tables()
+        auditor = _fitted(FAMILIES["tree"], train)
+        assert auditor.audit(audit, engine="sql").findings == auditor.audit(audit).findings
+        assert (
+            auditor.audit(audit, engine="memory").findings
+            == auditor.audit(audit).findings
+        )
+        with pytest.raises(ValueError, match="engine"):
+            auditor.audit(audit, engine="duckdb")
+
+
+class TestDatabaseFiles:
+    @pytest.fixture
+    def warehouse(self, tmp_path):
+        train, audit = _rich_tables()
+        auditor = _fitted(FAMILIES["tree"], train)
+        database = tmp_path / "wh.db"
+        with SqliteTableSink(audit.schema, database, table="loads") as sink:
+            sink.write(audit)
+        return auditor, audit, database
+
+    def test_audit_sqlite_matches_memory(self, warehouse):
+        auditor, audit, database = warehouse
+        _assert_reports_match(auditor.audit(audit), audit_sqlite(auditor, database))
+
+    def test_audit_source_sql_yields_one_whole_table_report(self, warehouse):
+        auditor, audit, database = warehouse
+        session = AuditSession(auditor=auditor)
+        url = f"sqlite:///{database}?table=loads"
+        reports = list(session.audit_source(url, chunk_size=50, engine="sql"))
+        assert len(reports) == 1  # pushdown: no extraction, no chunking
+        _assert_reports_match(auditor.audit(audit), reports[0])
+
+    def test_mistyped_cell_raises_the_extraction_error(self, warehouse):
+        # a text value in a numeric column must fail with the exact error
+        # the extract-and-audit path raises — the dirty guard routes the
+        # row to the same converter
+        auditor, audit, database = warehouse
+        with sqlite3.connect(database) as connection:
+            connection.execute("UPDATE loads SET N = 'bogus' WHERE rowid = 3")
+        with open_source(audit.schema, str(database)) as source:
+            with pytest.raises(ValueError) as via_extract:
+                source.read()
+        with pytest.raises(ValueError) as via_pushdown:
+            audit_sqlite(auditor, database)
+        assert str(via_pushdown.value) == str(via_extract.value)
+
+    def test_missing_database(self, warehouse):
+        auditor, _, database = warehouse
+        with pytest.raises(FileNotFoundError):
+            audit_sqlite(auditor, database.with_name("absent.db"))
+
+
+class TestFallbacks:
+    def test_knn_is_not_compilable(self):
+        train, audit = _rich_tables()
+        auditor = _fitted(lambda config: KnnClassifier(), train)
+        plan = compilation_plan(auditor)
+        assert not plan.compilable
+        assert "auditing in memory" in plan.notice()
+        assert "KnnClassifier" in plan.notice()
+        with pytest.raises(NotCompilable):
+            audit_table_sql(auditor, audit)
+        # engine="sql" falls back silently to the identical memory audit
+        assert auditor.audit(audit, engine="sql").findings == auditor.audit(audit).findings
+
+    def test_audit_source_non_sqlite_falls_back_chunked(self, tmp_path):
+        train, audit = _rich_tables()
+        auditor = _fitted(FAMILIES["tree"], train)
+        path = tmp_path / "loads.csv"
+        with CsvTableSink(audit.schema, path) as sink:
+            sink.write(audit)
+        session = AuditSession(auditor=auditor)
+        reports = list(session.audit_source(str(path), chunk_size=50, engine="sql"))
+        assert len(reports) > 1  # chunked extraction, not pushdown
+        merged = AuditReport.merge(reports)
+        assert merged.findings == auditor.audit(audit).findings
+
+    def test_audit_source_rejects_unknown_engine(self, tmp_path):
+        train, _ = _rich_tables()
+        auditor = _fitted(FAMILIES["tree"], train)
+        session = AuditSession(auditor=auditor)
+        with pytest.raises(ValueError, match="engine"):
+            next(session.audit_source(str(tmp_path / "x.csv"), engine="duckdb"))
+
+
+class TestCompilationPlan:
+    def test_statements_cover_audited_attributes(self):
+        train, _ = _rich_tables()
+        auditor = _fitted(FAMILIES["tree"], train)
+        plan = compilation_plan(auditor)
+        assert [s.attribute for s in plan.statements] == list(auditor.classifiers)
+        for statement in plan.statements:
+            sql = statement.sql('"loads"')
+            assert '"loads"' in sql
+            assert f'"{ALIAS_PREFIX}rn"' in sql
+            assert isinstance(statement.params, tuple)
+
+    def test_unfitted_auditor_is_rejected(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            compilation_plan(DataAuditor(_rich_schema()))
+
+    def test_alias_collision_falls_back(self):
+        schema = Schema(
+            [
+                nominal(f"{ALIAS_PREFIX}rn", ["a", "b"]),
+                nominal("B", ["x", "y"]),
+                numeric("N", 0, 3, integer=True),
+            ]
+        )
+        rng = random.Random(5)
+        rows = [
+            [rng.choice("ab"), rng.choice("xy"), rng.randint(0, 3)] for _ in range(200)
+        ]
+        table = Table(schema, rows)
+        auditor = DataAuditor(schema, AuditorConfig(min_error_confidence=0.8))
+        auditor.fit(table)
+        plan = compilation_plan(auditor)
+        assert not plan.compilable
+        assert "auditing in memory" in plan.notice()
+
+
+class TestCli:
+    @pytest.fixture
+    def workspace(self, tmp_path):
+        from repro.core.serialize import save_auditor
+
+        train, audit = _rich_tables()
+        auditor = _fitted(FAMILIES["tree"], train)
+        model = tmp_path / "model.json"
+        save_auditor(auditor, model)
+        database = tmp_path / "wh.db"
+        with SqliteTableSink(audit.schema, database, table="loads") as sink:
+            sink.write(audit)
+        csv_path = tmp_path / "loads.csv"
+        with CsvTableSink(audit.schema, csv_path) as sink:
+            sink.write(audit)
+        return {"model": model, "db": database, "csv": csv_path}
+
+    def _audit_jsonl(self, capsys, model, location, *extra):
+        from repro.cli import main
+
+        args = ["audit", "--model", str(model), "--input", str(location)]
+        args += ["--format", "jsonl", *extra]
+        assert main(args) == 0
+        captured = capsys.readouterr()
+        return captured.out, captured.err
+
+    def test_engine_sql_byte_identical_jsonl(self, workspace, capsys):
+        url = f"sqlite:///{workspace['db']}?table=loads"
+        memory_out, _ = self._audit_jsonl(capsys, workspace["model"], url)
+        sql_out, sql_err = self._audit_jsonl(
+            capsys, workspace["model"], url, "--engine", "sql"
+        )
+        assert sql_out == memory_out
+        assert "note:" not in sql_err  # pushdown ran; no fallback notice
+
+    def test_engine_sql_chunked_byte_identical(self, workspace, capsys):
+        url = f"sqlite:///{workspace['db']}?table=loads"
+        memory_out, _ = self._audit_jsonl(capsys, workspace["model"], url)
+        sql_out, _ = self._audit_jsonl(
+            capsys, workspace["model"], url, "--engine", "sql", "--chunk-size", "50"
+        )
+        assert sql_out == memory_out
+
+    def test_engine_sql_on_csv_notes_and_falls_back(self, workspace, capsys):
+        memory_out, _ = self._audit_jsonl(capsys, workspace["model"], workspace["csv"])
+        sql_out, sql_err = self._audit_jsonl(
+            capsys, workspace["model"], workspace["csv"], "--engine", "sql"
+        )
+        assert sql_out == memory_out
+        assert "note: --engine sql needs a SQLite --input" in sql_err
+
+
+class TestSinkConnection:
+    def test_exactly_one_of_database_or_connection(self):
+        schema = _rich_schema()
+        with pytest.raises(ValueError, match="exactly one"):
+            SqliteTableSink(schema)
+        connection = sqlite3.connect(":memory:", isolation_level=None)
+        try:
+            with pytest.raises(ValueError, match="exactly one"):
+                SqliteTableSink(schema, "wh.db", connection=connection)
+        finally:
+            connection.close()
+
+    def test_caller_connection_stays_open(self):
+        train, _ = _rich_tables()
+        connection = sqlite3.connect(":memory:", isolation_level=None)
+        try:
+            with SqliteTableSink(train.schema, table="t", connection=connection) as sink:
+                sink.write(train)
+            # the sink committed but did not close the caller's connection
+            (count,) = connection.execute("SELECT COUNT(*) FROM t").fetchone()
+            assert count == train.n_rows
+        finally:
+            connection.close()

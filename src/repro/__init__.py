@@ -110,6 +110,8 @@ from repro.pollution import (
     default_polluters,
 )
 from repro.io import (
+    ColumnBatch,
+    ColumnarSource,
     TableSink,
     TableSource,
     available_formats,
@@ -119,6 +121,7 @@ from repro.io import (
     read_table,
     read_table_chunks,
     register_format,
+    resolve_io_path,
     write_table,
 )
 from repro.quis import generate_quis_sample, quis_schema
@@ -185,6 +188,9 @@ __all__ = [
     # storage backends (repro.io)
     "TableSource",
     "TableSink",
+    "ColumnarSource",
+    "ColumnBatch",
+    "resolve_io_path",
     "register_format",
     "available_formats",
     "detect_format",

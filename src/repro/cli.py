@@ -43,7 +43,12 @@ findings retained for ranking, not by the load's row count);
 the deviation check on N worker processes (per column for whole-table
 audits, per chunk when combined with ``--chunk-size``) with bit-identical
 output — including across storage backends: auditing a SQLite table is
-bit-identical to auditing the equivalent CSV export. See
+bit-identical to auditing the equivalent CSV export.
+``--io-path {auto,columns,rows}`` on ``fit`` and ``audit`` selects the
+ingest representation: ``columns`` reads the backend's native column
+batches (:mod:`repro.io.columnar` — no row objects on the hot path),
+``rows`` keeps the row-major parity oracle, and ``auto`` (the default)
+negotiates per backend; models and findings are byte-identical. See
 ``docs/architecture.md`` for the execution model and the README for a
 full flag reference.
 """
@@ -65,6 +70,7 @@ from repro.core.findings import Finding, findings_to_table
 from repro.core.serialize import save_auditor
 from repro.core.session import AuditSession, ModelPersistenceError
 from repro.generator.profiles import base_profile, base_schema
+from repro.io.columnar import IO_PATHS, resolve_io_path
 from repro.io.jsonl_backend import JsonlTableSink
 from repro.io.registry import (
     available_formats,
@@ -131,8 +137,23 @@ def _open_input(schema, location: str, override: Optional[str], null_marker: Opt
     return open_source(schema, location, format=fmt, **_table_options(fmt, null_marker))
 
 
-def _read_input(schema, location: str, override: Optional[str], null_marker: Optional[str] = None) -> Table:
+def _read_input(
+    schema,
+    location: str,
+    override: Optional[str],
+    null_marker: Optional[str] = None,
+    io_path: str = "rows",
+):
+    """Materialize a CLI table argument.
+
+    ``io_path="columns"`` (or ``"auto"`` on a columnar-capable backend)
+    returns the backend's native :class:`~repro.io.ColumnBatch` instead
+    of a row-major :class:`Table` — fit and audit accept either with
+    byte-identical results.
+    """
     with _open_input(schema, location, override, null_marker) as source:
+        if resolve_io_path(source, io_path) == "columns":
+            return source.read_columns()
         return source.read()
 
 
@@ -241,6 +262,15 @@ def build_parser() -> argparse.ArgumentParser:
         "kept as the parity oracle); both produce byte-identical models",
     )
     p_fit.add_argument(
+        "--io-path",
+        choices=IO_PATHS,
+        default="auto",
+        help="ingest representation: 'columns' reads the backend's native "
+        "column batches (no row objects on the hot path), 'rows' reads a "
+        "row-major table, 'auto' (default) picks columns whenever the "
+        "backend supports them; models are byte-identical either way",
+    )
+    p_fit.add_argument(
         "--register",
         metavar="NAME",
         help="store the fitted model as the next version of NAME in the "
@@ -302,6 +332,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for the deviation check (default 1 = serial; "
         "-1 = all cores); output is identical regardless of job count",
+    )
+    p_audit.add_argument(
+        "--io-path",
+        choices=IO_PATHS,
+        default="auto",
+        help="ingest representation: 'columns' streams the backend's native "
+        "column batches into the audit, 'rows' streams row-major chunks, "
+        "'auto' (default) picks columns whenever the backend supports "
+        "them; findings are byte-identical either way",
     )
     p_audit.add_argument(
         "--engine",
@@ -559,7 +598,9 @@ def _cmd_fit(args: argparse.Namespace) -> int:
             "a fit with neither destination would be discarded"
         )
     schema = _load_schema(args.schema)
-    table = _read_input(schema, args.input, args.input_format, args.null_marker)
+    table = _read_input(
+        schema, args.input, args.input_format, args.null_marker, io_path=args.io_path
+    )
     auditor = DataAuditor(
         schema,
         AuditorConfig(
@@ -590,6 +631,7 @@ def _cmd_fit(args: argparse.Namespace) -> int:
                         "min_error_confidence": args.min_confidence,
                         "fit_n_jobs": args.jobs,
                         "fit_path": args.fit_path,
+                        "io_path": args.io_path,
                     },
                     n_rows=table.n_rows,
                     fit_seconds=auditor.fit_seconds,
@@ -719,7 +761,10 @@ def _cmd_audit(args: argparse.Namespace) -> int:
             ) as source:
                 _consume(
                     session.audit_source(
-                        source, chunk_size=args.chunk_size, n_jobs=args.jobs
+                        source,
+                        chunk_size=args.chunk_size,
+                        n_jobs=args.jobs,
+                        io_path=args.io_path,
                     )
                 )
         findings = sorted(collected, key=lambda f: (-f.confidence, f.row, f.attribute))
@@ -735,7 +780,11 @@ def _cmd_audit(args: argparse.Namespace) -> int:
                 print(f"note: {exc}; auditing in memory", file=sys.stderr)
         if report is None:
             table = _read_input(
-                auditor.schema, args.input, args.input_format, args.null_marker
+                auditor.schema,
+                args.input,
+                args.input_format,
+                args.null_marker,
+                io_path=args.io_path,
             )
             report = auditor.audit(table, n_jobs=args.jobs)
         findings = report.findings

@@ -72,14 +72,49 @@ class ColumnCache:
     caching by attribute name turns the audit's encoding cost from
     O(attributes²) into O(attributes). The serial audit keeps one cache
     per table; each parallel worker keeps one per (table, process).
+
+    ``table`` may be a row-major :class:`~repro.schema.table.Table` or a
+    :class:`~repro.io.columnar.ColumnBatch` — the cache reads only the
+    shared surface (``schema`` / ``n_rows`` / ``column``) and probes the
+    batch's optional accelerator hooks (``numeric_view`` / ``null_mask``)
+    with ``getattr``, so encoding ordered columns off an Arrow-backed
+    batch never materializes Python cell values. Every accelerated lane
+    is value-identical to the encoder's own conversion (pinned by the
+    columnar parity suite).
     """
 
     __slots__ = ("table", "_raw", "_encoded")
 
-    def __init__(self, table: Table):
+    def __init__(self, table):
         self.table = table
         self._raw: dict[str, list] = {}
         self._encoded: dict[str, np.ndarray] = {}
+
+    @classmethod
+    def from_columns(cls, batch) -> "ColumnCache":
+        """Build the cache directly over a column batch — the columnar
+        ingestion path (no row lists are ever constructed)."""
+        return cls(batch)
+
+    @property
+    def n_rows(self) -> int:
+        return self.table.n_rows
+
+    @property
+    def schema(self) -> Schema:
+        return self.table.schema
+
+    # -- accelerator-hook probes --------------------------------------------
+
+    def _numeric_view(self, name: str) -> Optional[np.ndarray]:
+        hook = getattr(self.table, "numeric_view", None)
+        return hook(name) if hook is not None else None
+
+    def _batch_null_mask(self, name: str) -> Optional[np.ndarray]:
+        hook = getattr(self.table, "null_mask", None)
+        return hook(name) if hook is not None else None
+
+    # -- column views --------------------------------------------------------
 
     def raw(self, name: str) -> list:
         """The raw (decoded) cell values of one column."""
@@ -91,8 +126,32 @@ class ColumnCache:
         """The column encoded by *encoder* (cached by attribute name —
         encoders are deterministic per schema attribute)."""
         if name not in self._encoded:
+            if not encoder.categorical:
+                view = self._numeric_view(name)
+                if view is not None:
+                    # ready float64 view off the batch's own buffers —
+                    # identical to encode_column on the raw cells
+                    self._encoded[name] = view
+                    return view
             self._encoded[name] = encoder.encode_column(self.raw(name))
         return self._encoded[name]
+
+    def observed_codes(self, name: str, class_encoder) -> np.ndarray:
+        """The column encoded into class-label codes (the audit side's
+        observed classes)."""
+        if self.schema.attribute(name).kind is not AttributeKind.NOMINAL:
+            view = self._numeric_view(name)
+            if view is not None:
+                mask = self._batch_null_mask(name)
+                if mask is not None:
+                    return class_encoder.encode_from_numeric(view, mask)
+        return class_encoder.encode_column(self.raw(name))
+
+    def observed_value(self, name: str, row: int):
+        """One raw cell, for a finding's ``observed_value``. A cache
+        without raw cells at hand (the shared-memory worker cache) may
+        answer ``None``; the dispatcher rehydrates parent-side."""
+        return self.raw(name)[row]
 
 
 class FitColumnCache(ColumnCache):
@@ -121,7 +180,7 @@ class FitColumnCache(ColumnCache):
 
     __slots__ = ("n_bins", "_encoders", "_masks", "_class_encoders", "_class_codes")
 
-    def __init__(self, table: Table, *, n_bins: int = 10):
+    def __init__(self, table, *, n_bins: int = 10):
         super().__init__(table)
         self.n_bins = n_bins
         self._encoders: dict[str, BaseEncoder] = {}
@@ -137,7 +196,10 @@ class FitColumnCache(ColumnCache):
     def mask(self, name: str) -> np.ndarray:
         """The column's null mask (shared by base and class encodings)."""
         if name not in self._masks:
-            self._masks[name] = null_mask(self.raw(name))
+            batch_mask = self._batch_null_mask(name)
+            self._masks[name] = (
+                batch_mask if batch_mask is not None else null_mask(self.raw(name))
+            )
         return self._masks[name]
 
     def base_column(self, name: str) -> np.ndarray:
@@ -147,11 +209,18 @@ class FitColumnCache(ColumnCache):
             if encoder.categorical:
                 self._encoded[name] = encoder.encode_column(self.raw(name))
             else:
-                # route through the shared mask instead of encode_column's
-                # internal one, so the mask is computed once per column
-                self._encoded[name] = encode_ordered_column(
-                    encoder.attribute, self.raw(name), self.mask(name)
-                )
+                view = self._numeric_view(name)
+                if view is not None:
+                    # the batch's ready view — identical to the encode
+                    # below (no raw cells materialized)
+                    self._encoded[name] = view
+                else:
+                    # route through the shared mask instead of
+                    # encode_column's internal one, so the mask is
+                    # computed once per column
+                    self._encoded[name] = encode_ordered_column(
+                        encoder.attribute, self.raw(name), self.mask(name)
+                    )
         return self._encoded[name]
 
     def class_encoder(self, name: str) -> ClassEncoder:
@@ -332,9 +401,15 @@ class DataAuditor:
             return [name for name in configured if name != class_attr]
         return [name for name in self.schema.names if name != class_attr]
 
-    def fit(self, table: Table, *, n_jobs: Optional[int] = None) -> "DataAuditor":
+    def fit(self, table, *, n_jobs: Optional[int] = None) -> "DataAuditor":
         """Induce one classifier per audited attribute (sec. 5's structure
         induction; may run offline, see module docstring).
+
+        *table* may be a row-major :class:`~repro.schema.table.Table` or
+        a :class:`~repro.io.columnar.ColumnBatch` (the columnar ingest of
+        :meth:`AuditSession.fit_source
+        <repro.core.session.AuditSession.fit_source>`) — both encode
+        through the same caches and produce byte-identical models.
 
         The fit runs on the configured encoding path
         (:attr:`AuditorConfig.fit_path`): the default column path encodes
@@ -375,7 +450,7 @@ class DataAuditor:
     def fit_dataset(
         self,
         class_attr: str,
-        table: Table,
+        table,
         cache: Optional[FitColumnCache] = None,
     ) -> Dataset:
         """One classifier's training view of *table*.
@@ -397,7 +472,7 @@ class DataAuditor:
     def fit_attribute(
         self,
         class_attr: str,
-        table: Table,
+        table,
         cache: Optional[FitColumnCache] = None,
     ) -> AttributeClassifier:
         """Fit one class attribute's classifier — the independent unit of
@@ -410,7 +485,7 @@ class DataAuditor:
 
     def audit(
         self,
-        table: Table,
+        table,
         *,
         n_jobs: Optional[int] = None,
         engine: Optional[str] = None,
@@ -420,7 +495,13 @@ class DataAuditor:
         The table may be the training table itself (the paper: "a data
         auditing tool should work both when training sets and test data
         are separate and when there is only a single database which serves
-        both for training and data audit") or a fresh load.
+        both for training and data audit") or a fresh load — and it may
+        be a :class:`~repro.io.columnar.ColumnBatch` instead of a
+        row-major :class:`~repro.schema.table.Table`: the check reads
+        only the columnar surface, so batches flow straight through
+        (byte-identical findings, pinned by the columnar parity suite).
+        The SQL engine stages rows into its private database, so a batch
+        is materialized to a table for that engine only.
 
         The check runs batch-first: every classifier receives whole
         encoded column arrays via
@@ -462,7 +543,8 @@ class DataAuditor:
             from repro.compile import NotCompilable, audit_table_sql
 
             try:
-                return audit_table_sql(self, table)
+                staged = table if isinstance(table, Table) else table.to_table()
+                return audit_table_sql(self, staged)
             except NotCompilable:
                 pass  # clean fallback to the in-memory batch path
         jobs = resolve_n_jobs(self.config.n_jobs if n_jobs is None else n_jobs)
@@ -498,13 +580,12 @@ class DataAuditor:
         classifier = self.classifiers[class_attr]
         dataset = classifier.dataset
         assert dataset is not None
-        n_rows = cache.table.n_rows
+        n_rows = cache.n_rows
         columns = {
             name: cache.encoded(name, dataset.encoders[name])
             for name in dataset.base_attrs
         }
-        class_values = cache.raw(class_attr)
-        observed_codes = dataset.class_encoder.encode_column(class_values)
+        observed_codes = cache.observed_codes(class_attr, dataset.class_encoder)
         batch = classifier.predict_batch(columns, n_rows=n_rows)
         confidences = error_confidence_batch(
             batch.probabilities, batch.support, observed_codes, self.config.bounds
@@ -525,7 +606,7 @@ class DataAuditor:
                     row=row,
                     attribute=class_attr,
                     observed_label=labels[int(observed_codes[row])],
-                    observed_value=class_values[row],
+                    observed_value=cache.observed_value(class_attr, row),
                     predicted_label=labels[predicted],
                     confidence=float(confidences[row]),
                     support=float(batch.support[row]),

@@ -44,6 +44,23 @@ non-picklable ``classifier_factory`` dropped — only :meth:`fit
 never fit. The ``fork`` start method is preferred where available
 (payload shared via copy-on-write); ``spawn`` is the fallback and works
 because the payload is fully picklable.
+
+**Column transport** (the ``dispatch`` knob of the per-column
+executors): under ``"auto"`` (default, when
+:func:`repro.core.shm.shared_memory_available` says yes) the parent
+encodes every column once and publishes the encoded arrays through
+POSIX shared memory; workers attach read-only views instead of
+receiving the table and re-encoding it privately — one physical copy of
+the encoded columns at any worker count, and no pickled column payloads
+under ``spawn`` (:mod:`repro.core.shm`). ``"pickle"`` forces the legacy
+table-shipping path (the parity oracle); ``"shared"`` requires shared
+memory and raises where it is unavailable. Failures while *setting up*
+the shared store fall back to the pickle path under ``"auto"``; worker
+errors propagate unchanged on every path. The per-chunk executor
+(:func:`audit_chunks_parallel`) keeps the pickle transport: each chunk
+is consumed by exactly one worker, so there is nothing to share.
+Shared-memory fit dispatch exists only for the column fit path — the
+row path (the parity oracle) has no array formulation to share.
 """
 
 from __future__ import annotations
@@ -71,7 +88,18 @@ __all__ = [
     "audit_table_parallel",
     "audit_chunks_parallel",
     "fit_table_parallel",
+    "DISPATCH_MODES",
 ]
+
+#: Column-transport modes of the per-column executors (see module
+#: docstring): auto picks shared memory where available, the explicit
+#: modes force one transport.
+DISPATCH_MODES = ("auto", "shared", "pickle")
+
+
+class _SharedSetupError(RuntimeError):
+    """Internal: publishing the shared store failed (not a worker error)
+    — ``dispatch="auto"`` falls back to the pickle transport."""
 
 
 def resolve_n_jobs(n_jobs: Optional[int]) -> int:
@@ -162,22 +190,36 @@ _dispatch_tokens = itertools.count()
 
 
 def _install_dispatch(
-    auditor: "DataAuditor", table: Optional["Table"], mode: str = "audit"
+    auditor: "DataAuditor", table, mode: str = "audit"
 ) -> None:
+    """Adopt one pool's payload. *table* is the shared table (pickle
+    transports), a shared-column descriptor (shared-memory transports),
+    or ``None`` (per-chunk mode)."""
     from repro.core.auditor import ColumnCache, FitColumnCache
 
     global _WORKER_AUDITOR, _WORKER_CACHE, _WORKER_TABLE
     _WORKER_AUDITOR = auditor
-    _WORKER_TABLE = table
-    if mode == "fit":
+    if mode == "audit-shared":
+        from repro.core.shm import SharedAuditCache
+
+        _WORKER_TABLE = None
+        _WORKER_CACHE = SharedAuditCache(table)
+    elif mode == "fit-shared":
+        from repro.core.shm import SharedFitCache
+
+        _WORKER_TABLE = None
+        _WORKER_CACHE = SharedFitCache(table)
+    elif mode == "fit":
         # the encode-once fit cache, built lazily per worker; the rows
         # (oracle) path fits cache-less, exactly like the serial path
+        _WORKER_TABLE = table
         _WORKER_CACHE = (
             FitColumnCache(table, n_bins=auditor.config.n_bins)
             if table is not None and auditor.config.fit_path == "columns"
             else None
         )
     else:
+        _WORKER_TABLE = table
         _WORKER_CACHE = ColumnCache(table) if table is not None else None
 
 
@@ -203,7 +245,10 @@ def _audit_chunk_task(chunk: "Table") -> AuditReport:
 
 
 def _fit_attribute_task(class_attr: str):
-    assert _WORKER_AUDITOR is not None and _WORKER_TABLE is not None
+    # shared-memory fit workers hold a cache but no table — fit_dataset
+    # consults only the cache when one is present
+    assert _WORKER_AUDITOR is not None
+    assert _WORKER_TABLE is not None or _WORKER_CACHE is not None
     classifier = _WORKER_AUDITOR.fit_attribute(
         class_attr, _WORKER_TABLE, _WORKER_CACHE
     )
@@ -225,7 +270,7 @@ class _dispatch_pool:
         self,
         n_jobs: int,
         auditor: "DataAuditor",
-        table: Optional["Table"],
+        table,
         *,
         payload_builder=dispatch_payload,
         mode: str = "audit",
@@ -262,23 +307,66 @@ class _dispatch_pool:
         return False
 
 
+def _use_shared(dispatch: str, *, fit_path: Optional[str] = None) -> bool:
+    """Resolve a ``dispatch`` mode to "use the shared-memory transport?"
+    (see :data:`DISPATCH_MODES`)."""
+    if dispatch not in DISPATCH_MODES:
+        raise ValueError(
+            f"dispatch must be one of {DISPATCH_MODES}, got {dispatch!r}"
+        )
+    if dispatch == "pickle":
+        return False
+    if fit_path is not None and fit_path != "columns":
+        # the rows (oracle) fit path has no array formulation to share
+        if dispatch == "shared":
+            raise ValueError(
+                "shared-memory fit dispatch requires fit_path='columns' "
+                f"(got fit_path={fit_path!r})"
+            )
+        return False
+    from repro.core.shm import shared_memory_available
+
+    if not shared_memory_available():
+        if dispatch == "shared":
+            raise RuntimeError(
+                "dispatch='shared' requested but POSIX shared memory is "
+                "unavailable here (or REPRO_DISABLE_SHM is set); use "
+                "dispatch='auto' for automatic fallback"
+            )
+        return False
+    return True
+
+
 def audit_table_parallel(
-    auditor: "DataAuditor", table: "Table", n_jobs: int
+    auditor: "DataAuditor", table, n_jobs: int, *, dispatch: str = "auto"
 ) -> AuditReport:
     """Audit one table with per-column fan-out over *n_jobs* workers.
 
-    Each task is one class attribute's deviation check; every worker
-    holds the shared table and its own encode-once
-    :class:`~repro.core.auditor.ColumnCache` (columns are encoded at most
-    once per worker, as in the serial path they are encoded at most once
-    per audit). Results fold in classifier order — but the fold (``max``
-    over confidences, findings re-sorted on report construction) is order
-    independent, so the report is bit-identical to ``n_jobs=1``.
+    Each task is one class attribute's deviation check. On the
+    shared-memory transport (``dispatch="auto"``/``"shared"``) the
+    parent encodes every column once and workers attach read-only views
+    (:mod:`repro.core.shm`); on the pickle transport every worker holds
+    the shared table and its own encode-once
+    :class:`~repro.core.auditor.ColumnCache`. Results fold in classifier
+    order — but the fold (``max`` over confidences, findings re-sorted
+    on report construction) is order independent, so the report is
+    bit-identical to ``n_jobs=1`` on every transport.
     """
     attrs = list(auditor.classifiers)
     n_jobs = min(n_jobs, len(attrs))
+    if _use_shared(dispatch):
+        try:
+            return _audit_table_shared(auditor, table, n_jobs)
+        except _SharedSetupError:
+            if dispatch == "shared":
+                raise
+            # auto: fall back to the pickle transport below
     with _dispatch_pool(n_jobs, auditor, table) as pool:
         results = pool.map(_audit_attribute_task, attrs, chunksize=1)
+    return _fold_audit_results(auditor, table, results)
+
+
+def _fold_audit_results(auditor: "DataAuditor", table, results) -> AuditReport:
     record_confidence = np.zeros(table.n_rows, dtype=float)
     findings: list[Finding] = []
     for confidences, attr_findings in results:
@@ -291,6 +379,39 @@ def audit_table_parallel(
         auditor.config.min_error_confidence,
         schema=table.schema,
     )
+
+
+def _audit_table_shared(
+    auditor: "DataAuditor", table, n_jobs: int
+) -> AuditReport:
+    """The shared-memory audit transport: publish the parent's
+    encode-once arrays, fan out, rehydrate findings parent-side."""
+    from repro.core import shm
+    from repro.core.auditor import ColumnCache
+
+    cache = ColumnCache(table)
+    attrs = list(auditor.classifiers)
+    with shm.SharedColumnStore() as store:
+        try:
+            shared = shm.publish_audit_columns(auditor, cache, store)
+        except OSError as error:
+            raise _SharedSetupError(str(error)) from error
+        with _dispatch_pool(
+            n_jobs, auditor, shared, mode="audit-shared"
+        ) as pool:
+            results = pool.map(_audit_attribute_task, attrs, chunksize=1)
+    # workers answer observed_value=None (raw cells never cross the
+    # process boundary); restore it from the parent's own raw columns
+    rehydrated = []
+    for class_attr, (confidences, attr_findings) in zip(attrs, results):
+        if attr_findings:
+            raw = cache.raw(class_attr)
+            attr_findings = [
+                dataclasses.replace(finding, observed_value=raw[finding.row])
+                for finding in attr_findings
+            ]
+        rehydrated.append((confidences, attr_findings))
+    return _fold_audit_results(auditor, table, rehydrated)
 
 
 def audit_chunks_parallel(
@@ -330,16 +451,21 @@ def audit_chunks_parallel(
             yield result.get().with_row_offset(chunk_offset)
 
 
-def fit_table_parallel(auditor: "DataAuditor", table: "Table", n_jobs: int) -> dict:
+def fit_table_parallel(
+    auditor: "DataAuditor", table, n_jobs: int, *, dispatch: str = "auto"
+) -> dict:
     """Fit one classifier per audited attribute over *n_jobs* workers.
 
     Each task is one class attribute's fit
-    (:meth:`~repro.core.auditor.DataAuditor.fit_attribute`); every worker
-    holds the shared table and — on the column path — its own encode-once
-    :class:`~repro.core.auditor.FitColumnCache`. Results fold back in
-    audited-attribute order (``pool.map`` preserves it), so the
-    classifier dict, and with it the serialized model, is byte-identical
-    to a serial fit.
+    (:meth:`~repro.core.auditor.DataAuditor.fit_attribute`). On the
+    shared-memory transport (column fit path only) the parent's
+    :class:`~repro.core.auditor.FitColumnCache` encodes every column
+    once and workers attach the arrays (:mod:`repro.core.shm`); on the
+    pickle transport every worker holds the shared table and its own
+    encode-once cache. Results fold back in audited-attribute order
+    (``pool.map`` preserves it), so the classifier dict, and with it the
+    serialized model, is byte-identical to a serial fit on every
+    transport.
     """
     attrs = auditor.audited_attributes()
     n_jobs = min(n_jobs, len(attrs))
@@ -353,8 +479,40 @@ def fit_table_parallel(auditor: "DataAuditor", table: "Table", n_jobs: int) -> d
                 "picklable classifier_factory (module-level function, not "
                 f"a closure/lambda): {error}"
             ) from error
+    if _use_shared(dispatch, fit_path=auditor.config.fit_path):
+        try:
+            return _fit_table_shared(auditor, table, n_jobs)
+        except _SharedSetupError:
+            if dispatch == "shared":
+                raise
+            # auto: fall back to the pickle transport below
     with _dispatch_pool(
         n_jobs, auditor, table, payload_builder=fit_dispatch_payload, mode="fit"
     ) as pool:
         results = pool.map(_fit_attribute_task, attrs, chunksize=1)
+    return dict(zip(attrs, results))
+
+
+def _fit_table_shared(auditor: "DataAuditor", table, n_jobs: int) -> dict:
+    """The shared-memory fit transport: the parent encodes once through
+    a :class:`~repro.core.auditor.FitColumnCache`, publishes the arrays,
+    and workers fit their classifiers over attached views."""
+    from repro.core import shm
+    from repro.core.auditor import FitColumnCache
+
+    cache = FitColumnCache(table, n_bins=auditor.config.n_bins)
+    attrs = auditor.audited_attributes()
+    with shm.SharedColumnStore() as store:
+        try:
+            shared = shm.publish_fit_columns(auditor, cache, store)
+        except OSError as error:
+            raise _SharedSetupError(str(error)) from error
+        with _dispatch_pool(
+            n_jobs,
+            auditor,
+            shared,
+            payload_builder=fit_dispatch_payload,
+            mode="fit-shared",
+        ) as pool:
+            results = pool.map(_fit_attribute_task, attrs, chunksize=1)
     return dict(zip(attrs, results))

@@ -1,0 +1,381 @@
+"""Shared-memory column transport for the parallel executors.
+
+The pickle dispatch path of :mod:`repro.core.parallel` ships the whole
+table to every worker (via fork's copy-on-write or spawn's pickled
+initargs) and each worker then *re-encodes* every column it touches into
+its own private cache — O(workers × columns) encoding work and, under
+``spawn``, O(workers × table bytes) serialization.
+
+This module publishes the parent's encode-once arrays through POSIX
+shared memory (:mod:`multiprocessing.shared_memory`) instead: the parent
+encodes each column exactly once, copies the arrays into named segments,
+and workers attach **read-only views** — no pickled column payloads, no
+per-worker re-encoding, one physical copy of the encoded table no matter
+the worker count. Workers only ever consume what the dispatch caches
+serve, so only those arrays are shared:
+
+* audit mode — the base-encoded columns and the per-class-attribute
+  observed-code columns (:class:`SharedAuditColumns` →
+  :class:`SharedAuditCache`);
+* fit mode — the base-encoded columns, the class-code vectors and the
+  fitted class encoders (pickled descriptors, a few hundred bytes each;
+  :class:`SharedFitColumns` → :class:`SharedFitCache`). Null masks are
+  parent-side intermediates (class codes and base columns already embed
+  them) and are deliberately not shipped.
+
+A worker's :meth:`SharedAuditCache.observed_value` answers ``None`` —
+raw cell values never cross the process boundary; the dispatcher
+rehydrates findings parent-side from its own raw columns
+(:func:`repro.core.parallel._audit_table_shared`).
+
+Lifecycle
+---------
+Segments are created by the parent under spawn-safe collision-resistant
+names (``repro-shm-<pid>-<seq>-<random>``), owned by one
+:class:`SharedColumnStore`, and unlinked in its ``finally`` path — a
+context manager backed by a ``weakref.finalize`` guard, so even an
+abandoned store reclaims its segments at garbage collection. One
+resource tracker serves the whole process tree (its pipe fd is
+inherited under both fork and spawn), so a worker's attach-time
+re-registration is a harmless set no-op and workers never unregister or
+unlink anything. If the parent dies uncleanly (SIGKILL), that tracker
+reclaims the registered segments — nothing leaks into ``/dev/shm``
+(pinned by the shm leak suite).
+
+:func:`shared_memory_available` is the capability probe behind
+``dispatch="auto"``: it creates and removes one tiny segment, caches the
+answer, and honors the ``REPRO_DISABLE_SHM`` environment variable (any
+non-empty value forces the pickle path fleet-wide).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import os
+import pickle
+import secrets
+import weakref
+from multiprocessing import shared_memory
+from typing import Optional
+
+import numpy as np
+
+from repro.mining.dataset import BaseEncoder, ClassEncoder, Dataset
+from repro.schema.schema import Schema
+
+__all__ = [
+    "shared_memory_available",
+    "ArrayRef",
+    "SharedColumnStore",
+    "attach_array",
+    "SharedAuditColumns",
+    "SharedAuditCache",
+    "publish_audit_columns",
+    "SharedFitColumns",
+    "SharedFitCache",
+    "publish_fit_columns",
+]
+
+#: Segment-name prefix — the shm leak suite polls ``/dev/shm`` for it.
+SEGMENT_PREFIX = "repro-shm"
+
+_segment_counter = itertools.count()
+
+_available: Optional[bool] = None
+
+#: Segments attached by this (worker) process, kept mapped for the
+#: process lifetime — a numpy view's buffer must outlive the view, and
+#: pool workers exit shortly after their tasks anyway.
+_ATTACHED: list = []
+
+
+def shared_memory_available() -> bool:
+    """Probe whether shared-memory dispatch can work here (cached).
+
+    ``False`` when the platform lacks POSIX shared memory, when creating
+    a segment fails (e.g. a locked-down ``/dev/shm``), or when
+    ``REPRO_DISABLE_SHM`` is set.
+    """
+    global _available
+    if os.environ.get("REPRO_DISABLE_SHM"):
+        return False
+    if _available is None:
+        try:
+            segment = _create_segment(1)
+            segment.close()
+            segment.unlink()
+            _available = True
+        except Exception:
+            _available = False
+    return _available
+
+
+def _create_segment(nbytes: int) -> shared_memory.SharedMemory:
+    """One named segment with a collision-resistant name.
+
+    The pid + sequence number make names unique within a parent; the
+    random suffix guards against a recycled pid racing a stale segment.
+    """
+    while True:
+        name = (
+            f"{SEGMENT_PREFIX}-{os.getpid()}-{next(_segment_counter)}"
+            f"-{secrets.token_hex(4)}"
+        )
+        try:
+            return shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+        except FileExistsError:  # pragma: no cover - needs a name collision
+            continue
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrayRef:
+    """Descriptor of one published array — everything a worker needs to
+    attach it (a few dozen bytes, the *entire* per-column payload)."""
+
+    name: str
+    dtype: str
+    shape: tuple
+
+
+def _cleanup_segments(segments: list) -> None:
+    for segment in segments:
+        try:
+            segment.close()
+        except Exception:  # pragma: no cover - close is best-effort
+            pass
+        try:
+            segment.unlink()
+        except Exception:  # pragma: no cover - already unlinked
+            pass
+    segments.clear()
+
+
+class SharedColumnStore:
+    """Parent-side owner of a set of published segments.
+
+    ``with SharedColumnStore() as store: ...`` guarantees every segment
+    created through :meth:`share` is closed and unlinked on exit — on
+    the success path, on worker failure, and (via the ``weakref``
+    finalizer) even if the store is abandoned without exiting.
+    """
+
+    def __init__(self):
+        self._segments: list = []
+        self._closed = False
+        self._finalizer = weakref.finalize(self, _cleanup_segments, self._segments)
+
+    def share(self, array: np.ndarray) -> ArrayRef:
+        """Copy *array* into a fresh segment; returns its descriptor."""
+        if self._closed:
+            raise RuntimeError("SharedColumnStore is closed")
+        array = np.ascontiguousarray(array)
+        segment = _create_segment(max(array.nbytes, 1))
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        self._segments.append(segment)
+        return ArrayRef(segment.name, array.dtype.str, array.shape)
+
+    def close(self) -> None:
+        """Close and unlink every owned segment (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._finalizer.detach()
+            _cleanup_segments(self._segments)
+
+    def __enter__(self) -> "SharedColumnStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def attach_array(ref: ArrayRef) -> np.ndarray:
+    """Worker-side: attach one published array as a read-only view.
+
+    Attaching re-registers the segment with the resource tracker on
+    Python ≤ 3.11, but the whole process tree shares one tracker (its
+    pipe fd is inherited under both fork and spawn) and registration is
+    set-based, so the duplicate is a no-op. Workers must NOT unregister:
+    that would strip the parent's crash-recovery registration from the
+    shared tracker and make the parent's own ``unlink`` warn.
+    """
+    segment = shared_memory.SharedMemory(name=ref.name)
+    _ATTACHED.append(segment)  # keep the mapping alive for the view
+    array: np.ndarray = np.ndarray(
+        ref.shape, dtype=np.dtype(ref.dtype), buffer=segment.buf
+    )
+    array.flags.writeable = False
+    return array
+
+
+# -- audit mode -------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class SharedAuditColumns:
+    """The audit dispatch descriptor: where every worker-consumed array
+    lives. Pickles to descriptors only — no column data."""
+
+    schema: Schema
+    n_rows: int
+    encoded: dict  # base attribute name -> ArrayRef
+    observed: dict  # class attribute name -> ArrayRef (class codes)
+
+
+def publish_audit_columns(auditor, cache, store: SharedColumnStore) -> SharedAuditColumns:
+    """Encode once through *cache* and publish exactly the arrays
+    :meth:`DataAuditor.audit_attribute
+    <repro.core.auditor.DataAuditor.audit_attribute>` reads."""
+    encoded: dict = {}
+    observed: dict = {}
+    for class_attr, classifier in auditor.classifiers.items():
+        dataset = classifier.dataset
+        for name in dataset.base_attrs:
+            if name not in encoded:
+                encoded[name] = store.share(
+                    cache.encoded(name, dataset.encoders[name])
+                )
+        observed[class_attr] = store.share(
+            cache.observed_codes(class_attr, dataset.class_encoder)
+        )
+    return SharedAuditColumns(cache.schema, cache.n_rows, encoded, observed)
+
+
+class SharedAuditCache:
+    """Worker-side stand-in for :class:`~repro.core.auditor.ColumnCache`
+    over attached shared arrays.
+
+    Serves the exact surface :meth:`DataAuditor.audit_attribute` reads.
+    ``observed_value`` answers ``None`` — raw cells never cross the
+    process boundary; the dispatcher rehydrates findings parent-side.
+    """
+
+    def __init__(self, shared: SharedAuditColumns):
+        self._shared = shared
+        self._encoded: dict = {}
+        self._observed: dict = {}
+
+    @property
+    def n_rows(self) -> int:
+        return self._shared.n_rows
+
+    @property
+    def schema(self) -> Schema:
+        return self._shared.schema
+
+    def encoded(self, name: str, encoder) -> np.ndarray:
+        if name not in self._encoded:
+            self._encoded[name] = attach_array(self._shared.encoded[name])
+        return self._encoded[name]
+
+    def observed_codes(self, name: str, class_encoder) -> np.ndarray:
+        if name not in self._observed:
+            self._observed[name] = attach_array(self._shared.observed[name])
+        return self._observed[name]
+
+    def observed_value(self, name: str, row: int):
+        return None  # rehydrated parent-side from the parent's raw columns
+
+
+# -- fit mode ---------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class SharedFitColumns:
+    """The fit dispatch descriptor (column fit path only)."""
+
+    schema: Schema
+    n_rows: int
+    n_bins: int
+    base: dict  # attribute name -> ArrayRef (base-encoded column)
+    class_codes: dict  # class attribute name -> ArrayRef (class codes)
+    class_encoders: dict  # class attribute name -> pickled ClassEncoder
+
+
+def publish_fit_columns(auditor, cache, store: SharedColumnStore) -> SharedFitColumns:
+    """Encode once through *cache* (a
+    :class:`~repro.core.auditor.FitColumnCache`) and publish exactly
+    what :meth:`FitColumnCache.dataset_for` assembles per classifier."""
+    attrs = auditor.audited_attributes()
+    needed: list = []
+    for class_attr in attrs:
+        for name in auditor.base_attributes_for(class_attr):
+            if name not in needed:
+                needed.append(name)
+    base = {name: store.share(cache.base_column(name)) for name in needed}
+    class_codes = {
+        class_attr: store.share(cache.class_codes(class_attr))
+        for class_attr in attrs
+    }
+    class_encoders = {
+        class_attr: pickle.dumps(
+            cache.class_encoder(class_attr), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        for class_attr in attrs
+    }
+    return SharedFitColumns(
+        cache.schema, cache.n_rows, cache.n_bins, base, class_codes, class_encoders
+    )
+
+
+class SharedFitCache:
+    """Worker-side stand-in for
+    :class:`~repro.core.auditor.FitColumnCache` over attached arrays.
+
+    Base encoders are rebuilt locally (deterministic per schema
+    attribute, a dict comprehension each); class encoders arrive pickled
+    because their discretizers were *fitted* on the parent's data and
+    must match bit-for-bit.
+    """
+
+    def __init__(self, shared: SharedFitColumns):
+        self._shared = shared
+        self._encoders: dict = {}
+        self._columns: dict = {}
+        self._class_encoders: dict = {}
+        self._codes: dict = {}
+
+    @property
+    def n_rows(self) -> int:
+        return self._shared.n_rows
+
+    @property
+    def schema(self) -> Schema:
+        return self._shared.schema
+
+    def base_encoder(self, name: str) -> BaseEncoder:
+        if name not in self._encoders:
+            self._encoders[name] = BaseEncoder(self._shared.schema.attribute(name))
+        return self._encoders[name]
+
+    def base_column(self, name: str) -> np.ndarray:
+        if name not in self._columns:
+            self._columns[name] = attach_array(self._shared.base[name])
+        return self._columns[name]
+
+    def class_encoder(self, name: str) -> ClassEncoder:
+        if name not in self._class_encoders:
+            self._class_encoders[name] = pickle.loads(
+                self._shared.class_encoders[name]
+            )
+        return self._class_encoders[name]
+
+    def class_codes(self, name: str) -> np.ndarray:
+        if name not in self._codes:
+            self._codes[name] = attach_array(self._shared.class_codes[name])
+        return self._codes[name]
+
+    def dataset_for(self, class_attr: str, base_attrs) -> Dataset:
+        """One classifier's training view over the attached arrays —
+        the same assembly as :meth:`FitColumnCache.dataset_for
+        <repro.core.auditor.FitColumnCache.dataset_for>`."""
+        return Dataset.from_shared(
+            class_attr,
+            base_attrs,
+            encoders={name: self.base_encoder(name) for name in base_attrs},
+            columns={name: self.base_column(name) for name in base_attrs},
+            class_encoder=self.class_encoder(class_attr),
+            y=self.class_codes(class_attr),
+            n_rows=self._shared.n_rows,
+        )

@@ -31,6 +31,12 @@ registration.
 """
 
 from repro.io.base import DEFAULT_CHUNK_SIZE, TableSink, TableSource
+from repro.io.columnar import (
+    IO_PATHS,
+    ColumnarSource,
+    ColumnBatch,
+    resolve_io_path,
+)
 from repro.io.csv_backend import CsvTableSink, CsvTableSource
 from repro.io.jsonl_backend import JsonlTableSink, JsonlTableSource
 from repro.io.parquet_backend import ParquetTableSink, ParquetTableSource
@@ -52,6 +58,10 @@ __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "TableSource",
     "TableSink",
+    "ColumnBatch",
+    "ColumnarSource",
+    "IO_PATHS",
+    "resolve_io_path",
     "FormatSpec",
     "register_format",
     "available_formats",

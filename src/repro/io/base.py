@@ -30,9 +30,11 @@ through the format registry (:mod:`repro.io.registry`).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from itertools import islice
 from pathlib import Path
 from typing import Iterator, Optional, TextIO, Union
 
+from repro.io.columnar import ColumnBatch
 from repro.schema.schema import Schema
 from repro.schema.table import Table
 from repro.schema.types import Value
@@ -65,7 +67,19 @@ class TableSource(ABC):
     at construction, where the location is known) and implement
     :meth:`_iter_rows`, yielding schema-ordered cell lists. The base
     class turns that row stream into whole tables or bounded chunks.
+
+    Sources may additionally stream :class:`~repro.io.columnar.ColumnBatch`
+    objects (:meth:`column_batches` / :meth:`read_columns`). The base
+    implementation pivots row chunks; backends that build batches
+    natively during their single storage pass override
+    :meth:`_iter_column_batches` and set :attr:`supports_columns`, which
+    is what ``io_path="auto"`` negotiation consults
+    (:func:`~repro.io.columnar.resolve_io_path`).
     """
+
+    #: True when :meth:`_iter_column_batches` builds batches natively
+    #: (no row-chunk pivot) — the ``io_path="auto"`` negotiation signal.
+    supports_columns: bool = False
 
     def __init__(self, schema: Schema):
         self.schema = schema
@@ -75,6 +89,16 @@ class TableSource(ABC):
     @abstractmethod
     def _iter_rows(self) -> Iterator[list[Value]]:
         """Yield one schema-ordered cell list per stored row."""
+
+    def _iter_column_batches(self, batch_size: int) -> Iterator[ColumnBatch]:
+        """Yield :class:`ColumnBatch` chunks of at most *batch_size* rows.
+
+        The default pivots row chunks — correct for any backend; natively
+        columnar backends override it to convert column-at-a-time off
+        their own raw buffers.
+        """
+        for chunk in self.chunks(batch_size):
+            yield ColumnBatch.from_table(chunk)
 
     def close(self) -> None:
         """Release the underlying handle (idempotent)."""
@@ -97,21 +121,54 @@ class TableSource(ABC):
         Rows are pulled lazily, so peak memory is bounded by the chunk
         size rather than the stored row count. A source holding a valid
         header but no rows yields no chunks.
+
+        Each chunk adopts its row batch in place (:meth:`Table.adopt
+        <repro.schema.table.Table.adopt>`) — no per-row copy, no
+        re-created table shell — and the row validator is resolved once
+        for the whole stream; chunked and whole-table reads are
+        byte-identical (pinned by the columnar I/O suite).
         """
         if chunk_size < 1:
             raise ValueError("chunk_size must be at least 1")
-        chunk = Table(self.schema)
-        for cells in self._iter_rows():
-            chunk.rows.append(cells)
-            if len(chunk.rows) >= chunk_size:
-                if validate:
-                    chunk.validate()
-                yield chunk
-                chunk = Table(self.schema)
-        if chunk.rows:
+        rows_iter = self._iter_rows()
+        validate_row = self.schema.validate_row if validate else None
+        while True:
+            rows = list(islice(rows_iter, chunk_size))
+            if not rows:
+                return
+            if validate_row is not None:
+                for i, row in enumerate(rows):
+                    try:
+                        validate_row(row)
+                    except ValueError as exc:
+                        raise ValueError(f"row {i}: {exc}") from None
+            yield Table.adopt(self.schema, rows)
+
+    def column_batches(
+        self, chunk_size: int = DEFAULT_CHUNK_SIZE, *, validate: bool = False
+    ) -> Iterator[ColumnBatch]:
+        """Stream the source as :class:`~repro.io.columnar.ColumnBatch`
+        chunks of at most *chunk_size* rows — the columnar twin of
+        :meth:`chunks`, with the same bounded-memory guarantee, the same
+        batch boundaries, and byte-identical cell values and errors
+        (pinned by the columnar parity suite)."""
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        for batch in self._iter_column_batches(chunk_size):
             if validate:
-                chunk.validate()
-            yield chunk
+                batch.validate()
+            yield batch
+
+    def read_columns(self, *, validate: bool = False) -> ColumnBatch:
+        """Materialize the whole source as one
+        :class:`~repro.io.columnar.ColumnBatch` — the columnar twin of
+        :meth:`read` (the fit path's whole-relation ingest)."""
+        batch = ColumnBatch.concat(
+            self.schema, self._iter_column_batches(DEFAULT_CHUNK_SIZE)
+        )
+        if validate:
+            batch.validate()
+        return batch
 
     # -- context management -------------------------------------------------
 

@@ -70,6 +70,21 @@ class Table:
             for row in self.rows:
                 schema.validate_row(row)
 
+    @classmethod
+    def adopt(cls, schema: Schema, rows: list[list[Value]]) -> "Table":
+        """Wrap already-converted row lists without the constructor's
+        defensive per-row copy.
+
+        The caller transfers ownership of *rows* (a list of mutable cell
+        lists it will not reuse) — how the chunked readers of
+        :mod:`repro.io.base` assemble tables without copying every row a
+        second time.
+        """
+        table = cls.__new__(cls)
+        table.schema = schema
+        table.rows = rows
+        return table
+
     # -- size --------------------------------------------------------------
 
     @property

@@ -31,6 +31,7 @@ from repro.core.auditor import AuditorConfig, DataAuditor
 from repro.core.findings import Finding, findings_to_table
 from repro.core.session import AuditSession
 from repro.io.base import DEFAULT_CHUNK_SIZE
+from repro.io.columnar import IO_PATHS, resolve_io_path
 from repro.io.jsonl_backend import JsonlTableSink, JsonlTableSource
 from repro.io.registry import open_source
 from repro.registry import ModelRegistry, Provenance, RegistryError
@@ -57,6 +58,16 @@ def _require(payload: Mapping[str, Any], key: str) -> Any:
         return payload[key]
     except KeyError:
         raise ServiceError(400, f"request body is missing the {key!r} field")
+
+
+def _parse_io_path(payload: Mapping[str, Any]) -> str:
+    """The optional ``io_path`` request field (default ``"auto"``)."""
+    io_path = payload.get("io_path", "auto")
+    if io_path not in IO_PATHS:
+        raise ServiceError(
+            400, f"'io_path' must be one of {', '.join(IO_PATHS)}, got {io_path!r}"
+        )
+    return io_path
 
 
 def _parse_config(payload: Optional[Mapping[str, Any]]) -> AuditorConfig:
@@ -166,10 +177,14 @@ class AuditService:
 
         Body: ``{"name": str, "schema": {...}, "source": location,
         "format": optional registry format, "config": optional scalar
-        AuditorConfig fields}``. Returns the stored version record.
+        AuditorConfig fields, "io_path": optional "auto"/"columns"/
+        "rows" ingest selector (columnar backends skip row objects on
+        "columns"/"auto"; models are byte-identical either way)}``.
+        Returns the stored version record.
         """
         name = _require(payload, "name")
         source_uri = _require(payload, "source")
+        io_path = _parse_io_path(payload)
         try:
             schema = schema_from_dict(_require(payload, "schema"))
         except (KeyError, TypeError, ValueError) as exc:
@@ -182,7 +197,10 @@ class AuditService:
         fmt = payload.get("format")
         try:
             with open_source(schema, source_uri, format=fmt) as source:
-                table = source.read()
+                if resolve_io_path(source, io_path) == "columns":
+                    table = source.read_columns()
+                else:
+                    table = source.read()
         except (OSError, ValueError) as exc:
             raise ServiceError(400, f"cannot read source {source_uri!r}: {exc}")
         auditor.fit(table)
@@ -247,7 +265,10 @@ class AuditService:
         ``"source"`` (a server-side ``repro.io`` location, optionally
         with ``"format"``) or ``"rows"`` (inline JSON objects);
         optional ``"jobs"`` and ``"chunk_size"`` override the daemon
-        defaults, and ``"engine": "sql"`` pushes the deviation screen
+        defaults, ``"io_path"`` (``"auto"``/``"columns"``/``"rows"``)
+        selects the ingest representation for ``"source"`` audits
+        (byte-identical findings either way), and ``"engine": "sql"``
+        pushes the deviation screen
         into the database (:mod:`repro.compile`) when the source is
         SQLite and the model compiles — the summary's ``engine`` field
         reports the engine actually selected, with a ``notice`` line
@@ -260,6 +281,7 @@ class AuditService:
         auditor = self._load_model(ref)
         session = AuditSession(auditor=auditor)
         jobs = payload.get("jobs", self.n_jobs)
+        io_path = _parse_io_path(payload)
         chunk_size = payload.get("chunk_size", self.chunk_size)
         if not isinstance(chunk_size, int) or chunk_size < 1:
             raise ServiceError(400, "'chunk_size' must be a positive integer")
@@ -298,6 +320,7 @@ class AuditService:
                     chunk_size=chunk_size,
                     n_jobs=jobs,
                     engine=engine,
+                    io_path=io_path,
                 )
                 for report in reports:
                     findings.extend(report.findings)

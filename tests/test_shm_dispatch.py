@@ -1,0 +1,316 @@
+"""Shared-memory dispatch suite: transport parity and segment hygiene.
+
+The parallel executor's shared-memory transport (:mod:`repro.core.shm`)
+publishes the encoded columns once and has workers attach read-only
+views instead of receiving pickled payloads. Its contract is twofold:
+
+* **invisible in the output** — ``dispatch="shared"`` is bit-exact with
+  ``dispatch="pickle"`` and with the serial path, for both the audit and
+  the fit fan-out;
+* **leak-free** — every published ``/dev/shm`` segment is unlinked on
+  the success path, on worker failure, and (via the resource tracker)
+  when the owning process is killed before it can clean up.
+
+The hygiene half is exercised the unpleasant way: subprocesses that
+exit normally, crash a worker mid-fit, and get SIGTERMed while their
+segments are live, with the parent test polling ``/dev/shm`` for
+stragglers afterwards.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import AuditorConfig, AuditReport, DataAuditor
+from repro.core.parallel import (
+    DISPATCH_MODES,
+    audit_table_parallel,
+    fit_table_parallel,
+)
+from repro.core.shm import (
+    SEGMENT_PREFIX,
+    ArrayRef,
+    SharedColumnStore,
+    attach_array,
+    shared_memory_available,
+)
+from repro.quis import generate_quis_sample
+
+SHM_DIR = Path("/dev/shm")
+
+needs_shm = pytest.mark.skipif(
+    not shared_memory_available(),
+    reason="POSIX shared memory unavailable (or REPRO_DISABLE_SHM set)",
+)
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _subprocess_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _stray_segments() -> list[str]:
+    if not SHM_DIR.is_dir():
+        return []
+    return sorted(p.name for p in SHM_DIR.glob(f"{SEGMENT_PREFIX}-*"))
+
+
+def _assert_no_strays(timeout: float = 1.0) -> None:
+    """Segments may be reclaimed asynchronously (resource tracker), so
+    poll briefly before declaring a leak."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if not _stray_segments():
+            return
+        time.sleep(0.05)
+    assert _stray_segments() == []
+
+
+def _assert_bit_exact(a: AuditReport, b: AuditReport) -> None:
+    assert a.n_rows == b.n_rows
+    assert a.record_confidence == b.record_confidence
+    assert a.findings == b.findings
+
+
+def _fit_fingerprint(classifiers) -> bytes:
+    return json.dumps(
+        {name: c.fit_state() for name, c in classifiers.items()}, sort_keys=True
+    ).encode()
+
+
+class _CrashingClassifier:
+    def fit(self, dataset):
+        raise RuntimeError("worker crash for the leak test")
+
+
+def _make_crashing(config):
+    return _CrashingClassifier()
+
+
+@pytest.fixture(scope="module")
+def quis_audit():
+    """A fitted auditor plus its training table (QUIS sample workload)."""
+    sample = generate_quis_sample(150, seed=2003)
+    auditor = DataAuditor(
+        sample.dirty.schema, AuditorConfig(min_error_confidence=0.8)
+    ).fit(sample.dirty)
+    return auditor, sample.dirty
+
+
+@pytest.fixture
+def shm_probe_reset():
+    """Reset the cached availability probe around env-var tests."""
+    from repro.core import shm
+
+    shm._available = None
+    yield
+    shm._available = None
+
+
+# -- the store itself ----------------------------------------------------------
+
+
+@needs_shm
+class TestSharedColumnStore:
+    def test_share_attach_round_trip(self):
+        published = np.arange(64, dtype=np.int64).reshape(8, 8)
+        with SharedColumnStore() as store:
+            ref = store.share(published)
+            assert ref.name.startswith(SEGMENT_PREFIX)
+            view = attach_array(ref)
+            assert view.dtype == published.dtype
+            assert view.shape == published.shape
+            assert (view == published).all()
+            assert not view.flags.writeable
+            with pytest.raises(ValueError):
+                view[0, 0] = 99
+        _assert_no_strays()
+
+    def test_refs_pickle_small(self):
+        import pickle
+
+        big = np.zeros(100_000, dtype=np.float64)
+        with SharedColumnStore() as store:
+            ref = store.share(big)
+            # the descriptor, not the data, crosses the pickle boundary
+            assert len(pickle.dumps(ref)) < 500
+            assert isinstance(ref, ArrayRef)
+        _assert_no_strays()
+
+    def test_close_is_idempotent_and_share_after_close_fails(self):
+        store = SharedColumnStore()
+        store.share(np.arange(4))
+        store.close()
+        store.close()
+        with pytest.raises(RuntimeError):
+            store.share(np.arange(4))
+        _assert_no_strays()
+
+    def test_abandoned_store_is_finalized(self):
+        store = SharedColumnStore()
+        store.share(np.arange(16))
+        assert _stray_segments()
+        del store  # the weakref finalizer must reclaim the segment
+        _assert_no_strays()
+
+
+# -- transport parity ----------------------------------------------------------
+
+
+class TestDispatchParity:
+    def test_invalid_dispatch_rejected(self, quis_audit):
+        auditor, table = quis_audit
+        with pytest.raises(ValueError, match="dispatch"):
+            audit_table_parallel(auditor, table, 2, dispatch="carrier-pigeon")
+
+    @pytest.mark.parametrize("dispatch", DISPATCH_MODES)
+    def test_audit_transports_bit_exact(self, quis_audit, dispatch):
+        auditor, table = quis_audit
+        serial = auditor.audit(table)
+        parallel = audit_table_parallel(auditor, table, 2, dispatch=dispatch)
+        _assert_bit_exact(parallel, serial)
+        _assert_no_strays()
+
+    @pytest.mark.parametrize("dispatch", DISPATCH_MODES)
+    def test_fit_transports_bit_exact(self, quis_audit, dispatch):
+        fitted, table = quis_audit
+        reference = _fit_fingerprint(fitted.classifiers)
+        fresh = DataAuditor(table.schema, AuditorConfig(min_error_confidence=0.8))
+        classifiers = fit_table_parallel(fresh, table, 2, dispatch=dispatch)
+        assert _fit_fingerprint(classifiers) == reference
+        _assert_no_strays()
+
+    def test_rows_fit_path_refuses_shared(self, quis_audit):
+        _, table = quis_audit
+        auditor = DataAuditor(
+            table.schema,
+            AuditorConfig(min_error_confidence=0.8, fit_path="rows"),
+        )
+        with pytest.raises(ValueError, match="fit_path"):
+            fit_table_parallel(auditor, table, 2, dispatch="shared")
+
+    def test_rows_fit_path_auto_falls_back(self, quis_audit):
+        fitted, table = quis_audit
+        auditor = DataAuditor(
+            table.schema,
+            AuditorConfig(min_error_confidence=0.8, fit_path="rows"),
+        )
+        classifiers = fit_table_parallel(auditor, table, 2, dispatch="auto")
+        assert _fit_fingerprint(classifiers) == _fit_fingerprint(fitted.classifiers)
+        _assert_no_strays()
+
+    def test_disable_env_knob(self, quis_audit, shm_probe_reset, monkeypatch):
+        auditor, table = quis_audit
+        monkeypatch.setenv("REPRO_DISABLE_SHM", "1")
+        # auto silently degrades to the pickle transport…
+        serial = auditor.audit(table)
+        _assert_bit_exact(
+            audit_table_parallel(auditor, table, 2, dispatch="auto"), serial
+        )
+        # …while an explicit shared request fails loudly, naming the knob
+        with pytest.raises(RuntimeError, match="REPRO_DISABLE_SHM"):
+            audit_table_parallel(auditor, table, 2, dispatch="shared")
+
+
+# -- segment hygiene under failure ---------------------------------------------
+
+
+@needs_shm
+@pytest.mark.skipif(not SHM_DIR.is_dir(), reason="no /dev/shm to inspect")
+class TestSegmentHygiene:
+    def test_normal_exit_leaves_nothing(self, tmp_path):
+        script = tmp_path / "normal_exit.py"
+        script.write_text(
+            textwrap.dedent(
+                """
+                from repro.core import AuditorConfig, DataAuditor
+                from repro.core.parallel import audit_table_parallel
+                from repro.quis import generate_quis_sample
+
+                sample = generate_quis_sample(120, seed=2003)
+                auditor = DataAuditor(sample.dirty.schema, AuditorConfig()).fit(
+                    sample.dirty
+                )
+                report = audit_table_parallel(
+                    auditor, sample.dirty, 2, dispatch="shared"
+                )
+                assert report.n_rows == sample.dirty.n_rows
+                """
+            ),
+            encoding="utf-8",
+        )
+        result = subprocess.run(
+            [sys.executable, str(script)],
+            env=_subprocess_env(),
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        _assert_no_strays(timeout=5.0)
+
+    def test_worker_crash_cleans_segments(self, quis_audit):
+        _, table = quis_audit
+        auditor = DataAuditor(
+            table.schema,
+            AuditorConfig(classifier_factory=_make_crashing),
+        )
+        with pytest.raises(RuntimeError, match="worker crash"):
+            fit_table_parallel(auditor, table, 2, dispatch="shared")
+        _assert_no_strays(timeout=5.0)
+
+    def test_sigterm_mid_run_is_reclaimed(self, tmp_path):
+        """Kill the owner while its segments are live: the resource
+        tracker (which survives just long enough to notice) must unlink
+        what the finalizers never got to."""
+        script = tmp_path / "hold_segments.py"
+        script.write_text(
+            textwrap.dedent(
+                """
+                import sys
+                import time
+
+                import numpy as np
+
+                from repro.core.shm import SharedColumnStore
+
+                store = SharedColumnStore()
+                ref = store.share(np.arange(10_000, dtype=np.int64))
+                print(ref.name, flush=True)
+                time.sleep(120)  # hold the segment until killed
+                """
+            ),
+            encoding="utf-8",
+        )
+        process = subprocess.Popen(
+            [sys.executable, str(script)],
+            env=_subprocess_env(),
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            name = process.stdout.readline().strip()
+            assert name.startswith(SEGMENT_PREFIX)
+            assert (SHM_DIR / name).exists()
+            process.send_signal(signal.SIGTERM)
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+        deadline = time.monotonic() + 20.0
+        while time.monotonic() < deadline and (SHM_DIR / name).exists():
+            time.sleep(0.1)
+        assert not (SHM_DIR / name).exists()
+        _assert_no_strays(timeout=5.0)
